@@ -1,0 +1,222 @@
+// Benchmarks that regenerate each of the paper's tables and figures at
+// reduced scale (one bench per experiment; see DESIGN.md's index). For
+// full-scale artifacts run cmd/nucache-bench. Micro-benchmarks for the
+// simulator's hot paths are at the bottom.
+package nucache_test
+
+import (
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/experiments"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+// benchOpts keeps each experiment iteration around a second.
+func benchOpts() experiments.Options {
+	return experiments.Options{Budget: 200_000, Seed: 1, MixLimit: 2, BenchLimit: 6}
+}
+
+func BenchmarkE1DelinquentPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Delinquency(benchOpts()); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE2NextUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.NextUseProfile(benchOpts()); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE3Potential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Potential(benchOpts()); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE5SingleCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.SingleCore(benchOpts()); r.Geomean <= 0 {
+			b.Fatal("bad geomean")
+		}
+	}
+}
+
+func benchMulticore(b *testing.B, cores int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.MulticoreComparison(cores, benchOpts())
+		if r.GeomeanNorm["NUcache"] <= 0 {
+			b.Fatal("bad geomean")
+		}
+	}
+}
+
+func BenchmarkE6DualCore(b *testing.B)  { benchMulticore(b, 2) }
+func BenchmarkE7QuadCore(b *testing.B)  { benchMulticore(b, 4) }
+func BenchmarkE8EightCore(b *testing.B) { benchMulticore(b, 8) }
+
+func benchSweep(b *testing.B, run func(experiments.Options) *experiments.SweepResult) {
+	b.Helper()
+	o := benchOpts()
+	o.MixLimit = 1
+	for i := 0; i < b.N; i++ {
+		if r := run(o); len(r.Points) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkE9DeliWays(b *testing.B) { benchSweep(b, experiments.DeliWaysSweep) }
+func BenchmarkE10PCCount(b *testing.B) { benchSweep(b, experiments.PCCountSweep) }
+
+func BenchmarkE11Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FairnessComparison(4, benchOpts())
+		if len(r.Policies) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE12Epoch(b *testing.B)    { benchSweep(b, experiments.EpochSweep) }
+func BenchmarkE13Sampling(b *testing.B) { benchSweep(b, experiments.SamplingSweep) }
+
+func BenchmarkE14OPT(b *testing.B) {
+	// E14 shares the Potential harness (NUcache-vs-OPT columns).
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Potential(benchOpts()); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- Simulator hot-path micro-benchmarks ---
+
+// accessLoop drives n accesses of a synthetic mixed pattern through a
+// 1MB LLC-configured cache, reporting ns/access.
+func accessLoop(b *testing.B, pol cache.Policy) {
+	b.Helper()
+	c := cache.New(cache.Config{
+		Name: "bench", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, Cores: 1,
+	}, pol)
+	req := cache.Request{Kind: trace.Load}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i)
+		req.Addr = (v * 2654435761) % (4 << 20) &^ 63
+		req.PC = 0x400000 + (v%9)*4
+		c.Access(&req)
+	}
+}
+
+func BenchmarkCacheAccessLRU(b *testing.B) { accessLoop(b, policy.NewLRU()) }
+func BenchmarkCacheAccessNUcache(b *testing.B) {
+	accessLoop(b, core.MustNew(core.DefaultConfig(16)))
+}
+func BenchmarkCacheAccessUCP(b *testing.B)  { accessLoop(b, policy.NewUCP(1, 16)) }
+func BenchmarkCacheAccessPIPP(b *testing.B) { accessLoop(b, policy.NewPIPP(1, 16, 1)) }
+func BenchmarkCacheAccessDRRIP(b *testing.B) {
+	accessLoop(b, policy.NewDRRIP(1))
+}
+
+// BenchmarkSystemThroughput measures end-to-end simulated accesses/sec of
+// the full hierarchy on a real workload model.
+func BenchmarkSystemThroughput(b *testing.B) {
+	bench := workload.MustByName("ammp-like")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cpu.DefaultConfig(1)
+		cfg.InstrBudget = 500_000
+		sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{bench.Stream(1)})
+		sys.Run()
+	}
+}
+
+// BenchmarkWorkloadGeneration isolates the synthetic generator cost.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	s := workload.MustByName("omnetpp-like").Stream(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+// BenchmarkSelection isolates the cost-benefit PC selection.
+func BenchmarkSelection(b *testing.B) {
+	cfg := core.MustNew(core.Config{Ways: 16, DeliWays: 6}).Config()
+	mon := core.NewMonitor(cfg)
+	for pc := uint64(1); pc <= 32; pc++ {
+		for i := 0; i < 100; i++ {
+			mon.OnMiss(0, pc)
+			mon.OnDemotion(0, pc*1000+uint64(i), pc)
+			mon.OnAccess(0, pc*1000+uint64(i))
+		}
+	}
+	cands := mon.TopCandidates(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SelectPCs(cands, 6, mon.SampledMisses(), 32, 1)
+	}
+}
+
+func BenchmarkE16IdealRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.IdealRetention(benchOpts()); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE17Prefetch(b *testing.B) {
+	o := benchOpts()
+	o.MixLimit = 1
+	for i := 0; i < b.N; i++ {
+		if r := experiments.PrefetchStudy(o); r.GainPf <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkE18DRAM(b *testing.B) {
+	o := benchOpts()
+	o.MixLimit = 1
+	for i := 0; i < b.N; i++ {
+		if r := experiments.DRAMStudy(o); r.GainDRAM <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkE19Extended(b *testing.B) {
+	o := benchOpts()
+	o.MixLimit = 1
+	for i := 0; i < b.N; i++ {
+		if r := experiments.ExtendedComparison(2, o); len(r.Policies) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE20Adaptive(b *testing.B) {
+	o := benchOpts()
+	o.MixLimit = 1
+	for i := 0; i < b.N; i++ {
+		if r := experiments.AdaptiveStudy(o); r.GainAdaptive <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command nucache-charz characterizes workloads the way the paper's
+// motivation section does: delinquent-PC miss skew (E1) and per-PC
+// Next-Use distance profiles (E2), with optional per-PC histogram dumps.
+//
+// Examples:
+//
+//	nucache-charz                      # all benchmarks, summary tables
+//	nucache-charz -bench art-like -hist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nucache/internal/experiments"
+	"nucache/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "restrict to one benchmark")
+		budget    = flag.Uint64("budget", 5_000_000, "instruction budget")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		hist      = flag.Bool("hist", false, "dump per-PC next-use histograms")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Budget: *budget, Seed: *seed}
+	benches := workload.All()
+	if *benchName != "" {
+		b, ok := workload.ByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nucache-charz: unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		benches = []workload.Benchmark{b}
+	}
+
+	if *benchName == "" {
+		experiments.Delinquency(o).Table().Render(os.Stdout)
+		fmt.Println()
+		experiments.NextUseProfile(o).Table().Render(os.Stdout)
+		return
+	}
+
+	// Single-benchmark deep dive.
+	del := experiments.Delinquency(restrictTo(o, benches[0]))
+	del.Table().Render(os.Stdout)
+	fmt.Println()
+	prof := experiments.NextUseProfile(restrictTo(o, benches[0]))
+	prof.Table().Render(os.Stdout)
+	if *hist {
+		fmt.Println()
+		experiments.DumpHistograms(restrictTo(o, benches[0]), os.Stdout)
+	}
+}
+
+// restrictTo limits benchmark-driven experiments to one model.
+func restrictTo(o experiments.Options, b workload.Benchmark) experiments.Options {
+	o.Only = b.Name
+	return o
+}

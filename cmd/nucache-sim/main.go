@@ -1,0 +1,288 @@
+// Command nucache-sim runs one benchmark or one multiprogrammed mix
+// through the simulated cache hierarchy under a chosen LLC policy and
+// prints per-core performance plus policy internals.
+//
+// Examples:
+//
+//	nucache-sim -bench art-like -policy NUcache
+//	nucache-sim -mix mix4-01 -policy UCP -budget 2000000
+//	nucache-sim -members art-like,swim-like -policy NUcache -deliways 8
+//	nucache-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/memory"
+	"nucache/internal/metrics"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "single benchmark name (see -list)")
+		mixName   = flag.String("mix", "", "standard mix name (e.g. mix4-01)")
+		members   = flag.String("members", "", "comma-separated benchmark names forming an ad-hoc mix")
+		polName   = flag.String("policy", "NUcache", "LLC policy: LRU|NUcache|UCP|PIPP|TADIP|DIP|DRRIP|SRRIP|SHiP|SLRU|Hawkeye|NRU|Random")
+		budget    = flag.Uint64("budget", 5_000_000, "instruction budget per core")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		deliWays  = flag.Int("deliways", 6, "NUcache DeliWays (of the LLC's 16 ways)")
+		list      = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		l2        = flag.Bool("l2", false, "add a private 256KB 8-way L2 per core")
+		dram      = flag.Bool("dram", false, "use the bank/row-buffer DRAM model instead of flat latency")
+		prefetch  = flag.Int("prefetch", 0, "next-line prefetch degree (0 = off)")
+		warmup    = flag.Uint64("warmup", 0, "instructions excluded from statistics per core")
+		record    = flag.String("record", "", "record each core's access stream to <prefix>.coreN.trc and exit")
+		recordN   = flag.Int("recordn", 1_000_000, "accesses per core to record")
+		replay    = flag.String("replay", "", "comma-separated trace files to replay (one per core) instead of generators")
+	)
+	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+
+	var (
+		mix     workload.Mix
+		streams []trace.Stream
+		err     error
+	)
+	if *replay != "" {
+		mix, streams, err = openTraces(strings.Split(*replay, ","))
+	} else {
+		mix, err = resolveMix(*benchName, *mixName, *members)
+		if err == nil {
+			streams = mix.Streams(*seed)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		if err := recordTraces(*record, mix, streams, *recordN); err != nil {
+			fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := cpu.DefaultConfig(mix.Cores())
+	cfg.InstrBudget = *budget
+	cfg.PrefetchDegree = *prefetch
+	cfg.WarmupInstr = *warmup
+	if *l2 {
+		cfg.L2 = cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64}
+		cfg.L2Latency = 6
+	}
+	if *dram {
+		d := memory.DefaultConfig()
+		cfg.DRAM = &d
+	}
+	pol, err := buildPolicy(*polName, mix.Cores(), cfg.LLC.Ways, *deliWays)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+		os.Exit(2)
+	}
+
+	sys := cpu.NewSystem(cfg, pol, streams)
+	results := sys.Run()
+
+	t := metrics.NewTable(
+		fmt.Sprintf("%s under %s (%d cores, %dMB LLC, %dM instr/core)",
+			mix.String(), pol.Name(), mix.Cores(), cfg.LLC.SizeBytes>>20, *budget/1_000_000),
+		"core", "benchmark", "IPC", "L1 miss%", "LLC MPKI", "LLC hits", "LLC misses")
+	for i, r := range results {
+		t.AddRow(
+			fmt.Sprintf("%d", i), mix.Members[i],
+			metrics.F3(r.IPC()),
+			metrics.F2(100*r.L1MissRate()),
+			metrics.F2(r.LLCMPKI()),
+			fmt.Sprintf("%d", r.LLCHits),
+			fmt.Sprintf("%d", r.LLCMisses),
+		)
+	}
+	t.Render(os.Stdout)
+
+	llc := sys.LLC().Stats
+	fmt.Printf("\nLLC: %d accesses, %.1f%% hit, %d evictions, %d writebacks\n",
+		llc.Accesses, 100*llc.HitRate(), llc.Evictions, llc.Writebacks)
+	if d := sys.DRAM(); d != nil {
+		fmt.Printf("DRAM: %d accesses, %.1f%% row-buffer hits\n", d.Accesses, 100*d.RowHitRate())
+	}
+	if sys.PrefetchIssued > 0 {
+		fmt.Printf("prefetches issued: %d\n", sys.PrefetchIssued)
+	}
+
+	if nu, ok := pol.(*core.NUcache); ok {
+		fmt.Printf("NUcache: %d epochs, %d DeliWay hits, %d retained of %d demotions\n",
+			nu.Epochs, nu.DeliHits, nu.DeliInsertions, nu.Demotions)
+		rep := nu.LastReport
+		fmt.Printf("last selection: %d of %d candidates chosen, projected lifetime %d, benefit %d\n",
+			rep.Chosen, rep.Candidates, rep.Lifetime, rep.Benefit)
+		if pcs := nu.ChosenPCs(); len(pcs) > 0 {
+			parts := make([]string, len(pcs))
+			for i, pc := range pcs {
+				parts[i] = fmt.Sprintf("c%d:%#x", pc>>48, pc&(1<<48-1))
+			}
+			fmt.Println("chosen PCs:", strings.Join(parts, " "))
+		}
+	}
+}
+
+func resolveMix(bench, mixName, members string) (workload.Mix, error) {
+	n := 0
+	for _, s := range []string{bench, mixName, members} {
+		if s != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return workload.Mix{}, fmt.Errorf("specify exactly one of -bench, -mix, -members")
+	}
+	switch {
+	case bench != "":
+		if _, ok := workload.ByName(bench); !ok {
+			return workload.Mix{}, fmt.Errorf("unknown benchmark %q (try -list)", bench)
+		}
+		return workload.Mix{Name: "single", Members: []string{bench}}, nil
+	case members != "":
+		ms := strings.Split(members, ",")
+		for _, m := range ms {
+			if _, ok := workload.ByName(m); !ok {
+				return workload.Mix{}, fmt.Errorf("unknown benchmark %q (try -list)", m)
+			}
+		}
+		return workload.Mix{Name: "custom", Members: ms}, nil
+	default:
+		for _, cores := range []int{2, 4, 8} {
+			for _, m := range workload.MixesFor(cores) {
+				if m.Name == mixName {
+					return m, nil
+				}
+			}
+		}
+		return workload.Mix{}, fmt.Errorf("unknown mix %q (try -list)", mixName)
+	}
+}
+
+func buildPolicy(name string, cores, ways, deliWays int) (cache.Policy, error) {
+	switch strings.ToUpper(name) {
+	case "LRU":
+		return policy.NewLRU(), nil
+	case "NUCACHE":
+		cfg := core.DefaultConfig(ways)
+		cfg.DeliWays = deliWays
+		return core.New(cfg)
+	case "UCP":
+		return policy.NewUCP(cores, ways), nil
+	case "PIPP":
+		return policy.NewPIPP(cores, ways, 12345), nil
+	case "TADIP":
+		return policy.NewTADIP(cores, 12345), nil
+	case "DIP":
+		return policy.NewDIP(12345), nil
+	case "DRRIP":
+		return policy.NewDRRIP(12345), nil
+	case "SRRIP":
+		return policy.NewSRRIP(), nil
+	case "NRU":
+		return policy.NewNRU(), nil
+	case "SHIP":
+		return policy.NewSHiP(), nil
+	case "HAWKEYE":
+		return policy.NewHawkeye(ways), nil
+	case "SLRU":
+		return policy.NewSLRU(ways / 2), nil
+	case "RANDOM":
+		return policy.NewRandom(12345), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func printCatalog() {
+	t := metrics.NewTable("benchmarks", "name", "class", "description")
+	for _, b := range workload.All() {
+		t.AddRow(b.Name, string(b.Class), b.Description)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+	for _, cores := range []int{2, 4, 8} {
+		t := metrics.NewTable(fmt.Sprintf("%d-core mixes", cores), "name", "members")
+		for _, m := range workload.MixesFor(cores) {
+			t.AddRow(m.Name, strings.Join(m.Members, " "))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// recordTraces dumps n accesses per core to <prefix>.coreN.trc in the
+// compact binary trace format.
+func recordTraces(prefix string, mix workload.Mix, streams []trace.Stream, n int) error {
+	for i, s := range streams {
+		path := fmt.Sprintf("%s.core%d.trc", prefix, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		written := 0
+		for ; written < n; written++ {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(a); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d accesses of %s to %s\n", written, mix.Members[i], path)
+	}
+	return nil
+}
+
+// openTraces builds replay streams from binary trace files.
+func openTraces(paths []string) (workload.Mix, []trace.Stream, error) {
+	mix := workload.Mix{Name: "replay"}
+	var streams []trace.Stream
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return mix, nil, err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return mix, nil, fmt.Errorf("%s: %w", p, err)
+		}
+		// Files stay open for the run's duration; the process exit
+		// releases them (replay runs are one-shot).
+		streams = append(streams, r)
+		mix.Members = append(mix.Members, p)
+	}
+	return mix, streams, nil
+}

@@ -1,0 +1,54 @@
+// Command nucache-sweep runs the sensitivity studies (E9/E10/E12/E13):
+// DeliWays split, PC-selection ablations, epoch length and monitor
+// sampling, each as geometric-mean weighted-speedup gain over LRU on the
+// standard 4-core mixes.
+//
+// Examples:
+//
+//	nucache-sweep -sweep deliways
+//	nucache-sweep -sweep all -budget 1000000 -mixlimit 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nucache/internal/experiments"
+)
+
+func main() {
+	var (
+		which    = flag.String("sweep", "all", "deliways|ablations|epoch|sampling|all")
+		budget   = flag.Uint64("budget", 2_000_000, "instruction budget per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		mixLimit = flag.Int("mixlimit", 0, "truncate the 4-core mix list (0 = all)")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Budget: *budget, Seed: *seed, MixLimit: *mixLimit}
+	sweeps := map[string]func(experiments.Options) *experiments.SweepResult{
+		"deliways":  experiments.DeliWaysSweep,
+		"ablations": experiments.PCCountSweep,
+		"epoch":     experiments.EpochSweep,
+		"sampling":  experiments.SamplingSweep,
+	}
+	order := []string{"deliways", "ablations", "epoch", "sampling"}
+
+	ran := 0
+	for _, name := range order {
+		if *which != "all" && !strings.EqualFold(*which, name) {
+			continue
+		}
+		start := time.Now()
+		sweeps[name](o).Table().Render(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nucache-sweep: unknown sweep %q (deliways|ablations|epoch|sampling|all)\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// multicore-mix: simulate a 4-core multiprogrammed mix on a shared LLC
+// under LRU and NUcache and report per-program slowdowns and weighted
+// speedup — the paper's headline experiment in miniature.
+//
+//	go run ./examples/multicore-mix [mix4-XX]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/metrics"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+func main() {
+	mixName := "mix4-06"
+	if len(os.Args) > 1 {
+		mixName = os.Args[1]
+	}
+	var mix workload.Mix
+	found := false
+	for _, m := range workload.Mixes4() {
+		if m.Name == mixName {
+			mix, found = m, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown 4-core mix %q\n", mixName)
+		os.Exit(2)
+	}
+
+	const budget = 2_000_000
+	cfg := cpu.DefaultConfig(mix.Cores())
+	cfg.InstrBudget = budget
+
+	// Alone runs give the weighted-speedup denominator.
+	alone := make([]float64, mix.Cores())
+	for i, name := range mix.Members {
+		a := cfg
+		a.Cores = 1
+		sys := cpu.NewSystem(a, policy.NewLRU(),
+			[]trace.Stream{workload.MustByName(name).Stream(1)})
+		alone[i] = sys.Run()[0].IPC()
+	}
+
+	run := func(pol cache.Policy) []float64 {
+		sys := cpu.NewSystem(cfg, pol, mix.Streams(1))
+		res := sys.Run()
+		ipc := make([]float64, len(res))
+		for i, r := range res {
+			ipc[i] = r.IPC()
+		}
+		return ipc
+	}
+	lru := run(policy.NewLRU())
+	nu := core.MustNew(core.DefaultConfig(cfg.LLC.Ways))
+	nuIPC := run(nu)
+
+	t := metrics.NewTable(
+		fmt.Sprintf("%s on a shared %dMB LLC", mix.String(), cfg.LLC.SizeBytes>>20),
+		"core", "benchmark", "alone IPC", "LRU speedup", "NUcache speedup")
+	for i, name := range mix.Members {
+		t.AddRow(fmt.Sprintf("%d", i), name,
+			metrics.F3(alone[i]),
+			metrics.F2(lru[i]/alone[i]),
+			metrics.F2(nuIPC[i]/alone[i]))
+	}
+	t.Render(os.Stdout)
+
+	wsLRU := metrics.WeightedSpeedup(lru, alone)
+	wsNU := metrics.WeightedSpeedup(nuIPC, alone)
+	fmt.Printf("\nweighted speedup: LRU %.3f, NUcache %.3f (%s)\n",
+		wsLRU, wsNU, metrics.Pct(wsNU/wsLRU))
+	fmt.Printf("NUcache retained %d lines, %d DeliWay hits, %d selection epochs\n",
+		nu.DeliInsertions, nu.DeliHits, nu.Epochs)
+}

@@ -1,0 +1,58 @@
+// policy-compare: run one benchmark model alone under every LLC policy
+// and compare IPC / MPKI — a miniature of the paper's single-core study.
+//
+//	go run ./examples/policy-compare [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/metrics"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+func main() {
+	benchName := "ammp-like"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	b, ok := workload.ByName(benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; known: %v\n", benchName, workload.Names())
+		os.Exit(2)
+	}
+
+	policies := []struct {
+		name string
+		mk   func(ways int) cache.Policy
+	}{
+		{"LRU", func(int) cache.Policy { return policy.NewLRU() }},
+		{"Random", func(int) cache.Policy { return policy.NewRandom(1) }},
+		{"SRRIP", func(int) cache.Policy { return policy.NewSRRIP() }},
+		{"DRRIP", func(int) cache.Policy { return policy.NewDRRIP(1) }},
+		{"DIP", func(int) cache.Policy { return policy.NewDIP(1) }},
+		{"NUcache", func(ways int) cache.Policy { return core.MustNew(core.DefaultConfig(ways)) }},
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("%s alone (%s)", b.Name, b.Description),
+		"policy", "IPC", "LLC MPKI", "LLC hit%")
+	for _, p := range policies {
+		cfg := cpu.DefaultConfig(1)
+		cfg.InstrBudget = 3_000_000
+		sys := cpu.NewSystem(cfg, p.mk(cfg.LLC.Ways), []trace.Stream{b.Stream(1)})
+		r := sys.Run()[0]
+		hitPct := 0.0
+		if r.LLCAccesses > 0 {
+			hitPct = 100 * float64(r.LLCHits) / float64(r.LLCAccesses)
+		}
+		t.AddRow(p.name, metrics.F3(r.IPC()), metrics.F2(r.LLCMPKI()), metrics.F2(hitPct))
+	}
+	t.Render(os.Stdout)
+}

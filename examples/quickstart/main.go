@@ -1,0 +1,71 @@
+// Quickstart: build a NUcache-managed cache, drive it by hand, and watch
+// the PC selection protect a polluted hot loop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/trace"
+)
+
+func main() {
+	// A small 8-way cache: 5 MainWays + 3 DeliWays per set.
+	nu := core.MustNew(core.Config{
+		Ways:        8,
+		DeliWays:    3,
+		EpochMisses: 2000,
+		SampleShift: 0, // monitor every set (tiny cache)
+	})
+	c := cache.New(cache.Config{
+		Name:      "demo-llc",
+		SizeBytes: 16 * 8 * 64, // 16 sets x 8 ways x 64B lines
+		Ways:      8,
+		LineBytes: 64,
+	}, nu)
+
+	// Two instruction sites: pcHot loops over a working set that LRU
+	// would lose; pcScan streams junk through every set.
+	const (
+		pcHot  = 0x400100
+		pcScan = 0x400200
+	)
+	hotLines := 6 // per set: more than survives 8-way LRU under the scan
+	scanAddr := uint64(1 << 30)
+
+	var hotHits, hotAccesses int
+	for round := 0; round < 300; round++ {
+		for i := 0; i < hotLines; i++ {
+			for set := 0; set < 16; set++ {
+				addr := uint64(i)*16*64 + uint64(set)*64
+				r := c.Access(&cache.Request{Addr: addr, PC: pcHot, Kind: trace.Load})
+				if r.Hit {
+					hotHits++
+				}
+				hotAccesses++
+			}
+		}
+		for i := 0; i < 10; i++ {
+			for set := 0; set < 16; set++ {
+				c.Access(&cache.Request{Addr: scanAddr, PC: pcScan, Kind: trace.Load})
+				scanAddr += 64
+			}
+		}
+	}
+
+	fmt.Printf("hot-loop hit rate: %.1f%% (%d of %d)\n",
+		100*float64(hotHits)/float64(hotAccesses), hotHits, hotAccesses)
+	fmt.Printf("selection epochs:  %d\n", nu.Epochs)
+	fmt.Printf("DeliWay hits:      %d\n", nu.DeliHits)
+	for _, pc := range nu.ChosenPCs() {
+		fmt.Printf("chosen PC:         %#x\n", pc)
+	}
+	fmt.Println()
+	fmt.Println("Under plain 8-way LRU this pattern gets ~0% hot hits: the scan")
+	fmt.Println("flushes every set between rounds. NUcache's monitor observes the")
+	fmt.Println("hot PC's short next-use distances and retains its lines in the")
+	fmt.Println("DeliWays after MainWays eviction.")
+}

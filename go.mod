@@ -1,0 +1,3 @@
+module nucache
+
+go 1.22

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"fmt"
+
+	"nucache/internal/trace"
+)
+
+// Policy is a replacement policy plugged into a Cache.
+//
+// The cache calls exactly one of OnHit or (Victim, OnInsert) per access.
+// Policies own per-set logical state (allocated by NewSetState) and may
+// reorganize it freely inside Victim — e.g. NUcache logically moves a
+// MainWays victim into the DeliWays region before returning the way whose
+// previous occupant actually leaves the cache.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// NewSetState allocates per-set state; nil is allowed.
+	NewSetState(setIndex int) SetState
+	// OnHit is invoked when req hits in way.
+	OnHit(set *Set, way int, req *Request)
+	// Victim returns the way to fill for the missing req, or a negative
+	// way to bypass the fill entirely. If the returned way holds a valid
+	// line, that line is evicted by the cache.
+	Victim(set *Set, req *Request) int
+	// OnInsert is invoked after the cache installs req's line at way.
+	OnInsert(set *Set, way int, req *Request)
+}
+
+// AccessObserver is an optional Policy extension invoked for every access
+// before lookup; monitoring structures (UCP's UMON, NUcache's Next-Use
+// monitor) use it to see the unfiltered request stream.
+type AccessObserver interface {
+	ObserveAccess(setIndex int, tag uint64, req *Request)
+}
+
+// EvictionObserver is an optional Policy extension invoked when a valid
+// line leaves the cache (replaced or invalidated).
+type EvictionObserver interface {
+	ObserveEviction(setIndex int, line Line)
+}
+
+// Stats aggregates cache activity. Per-core slices are sized by
+// Config.Cores.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Bypasses   uint64
+
+	CoreAccesses []uint64
+	CoreHits     []uint64
+	CoreMisses   []uint64
+}
+
+// HitRate returns hits/accesses (0 for an idle cache).
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with a pluggable replacement policy.
+type Cache struct {
+	cfg        Config
+	sets       []Set
+	policy     Policy
+	obs        AccessObserver   // non-nil iff policy observes accesses
+	evictObs   EvictionObserver // non-nil iff policy observes evictions
+	offsetBits uint
+	indexMask  uint64
+	seq        uint64
+
+	// Stats is exported for cheap reading by the harness.
+	Stats Stats
+}
+
+// New constructs a cache. It panics on invalid configuration, which is a
+// programming error in experiment setup, not a runtime condition.
+func New(cfg Config, policy Policy) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if policy == nil {
+		panic(fmt.Sprintf("cache %q: nil policy", cfg.Name))
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:        cfg,
+		sets:       make([]Set, sets),
+		policy:     policy,
+		offsetBits: log2(cfg.LineBytes),
+		indexMask:  uint64(sets - 1),
+		Stats: Stats{
+			CoreAccesses: make([]uint64, cores),
+			CoreHits:     make([]uint64, cores),
+			CoreMisses:   make([]uint64, cores),
+		},
+	}
+	lines := make([]Line, sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i].Lines = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		c.sets[i].State = policy.NewSetState(i)
+	}
+	c.obs, _ = policy.(AccessObserver)
+	c.evictObs, _ = policy.(EvictionObserver)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetIndex maps an address to its set index.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.offsetBits) & c.indexMask)
+}
+
+// Tag maps an address to the line address used as tag.
+func (c *Cache) Tag(addr uint64) uint64 { return addr >> c.offsetBits }
+
+// Set exposes a set for inspection (tests, monitors).
+func (c *Cache) Set(i int) *Set { return &c.sets[i] }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// AccessResult describes the outcome of one access.
+type AccessResult struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// Evicted holds the displaced line when EvictedValid is true.
+	Evicted      Line
+	EvictedValid bool
+	// Bypassed reports that the policy declined to cache the fill.
+	Bypassed bool
+}
+
+// Access presents one request to the cache and returns the outcome.
+// The cache assigns req.Seq.
+func (c *Cache) Access(req *Request) AccessResult {
+	req.Seq = c.seq
+	c.seq++
+
+	setIdx := c.SetIndex(req.Addr)
+	tag := c.Tag(req.Addr)
+	set := &c.sets[setIdx]
+
+	c.Stats.Accesses++
+	core := req.Core
+	if core < 0 || core >= len(c.Stats.CoreAccesses) {
+		core = 0
+	}
+	c.Stats.CoreAccesses[core]++
+
+	if c.obs != nil {
+		c.obs.ObserveAccess(setIdx, tag, req)
+	}
+
+	if way := set.Lookup(tag); way >= 0 {
+		c.Stats.Hits++
+		c.Stats.CoreHits[core]++
+		if req.Kind == trace.Store {
+			set.Lines[way].Dirty = true
+		}
+		c.policy.OnHit(set, way, req)
+		return AccessResult{Hit: true}
+	}
+
+	c.Stats.Misses++
+	c.Stats.CoreMisses[core]++
+
+	way := c.policy.Victim(set, req)
+	if way < 0 {
+		c.Stats.Bypasses++
+		return AccessResult{Bypassed: true}
+	}
+	if way >= len(set.Lines) {
+		panic(fmt.Sprintf("cache %q: policy %q returned way %d of %d",
+			c.cfg.Name, c.policy.Name(), way, len(set.Lines)))
+	}
+
+	res := AccessResult{}
+	if victim := &set.Lines[way]; victim.Valid {
+		res.Evicted = *victim
+		res.EvictedValid = true
+		c.Stats.Evictions++
+		if victim.Dirty {
+			c.Stats.Writebacks++
+		}
+		if c.evictObs != nil {
+			c.evictObs.ObserveEviction(setIdx, *victim)
+		}
+	}
+
+	set.Lines[way] = Line{
+		Tag:   tag,
+		PC:    req.PC,
+		Core:  req.Core,
+		Valid: true,
+		Dirty: req.Kind == trace.Store,
+	}
+	c.policy.OnInsert(set, way, req)
+	return res
+}
+
+// Invalidate removes the line holding addr if present, returning it.
+// Used by tests and by hierarchy models that need back-invalidation.
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	setIdx := c.SetIndex(addr)
+	tag := c.Tag(addr)
+	set := &c.sets[setIdx]
+	way := set.Lookup(tag)
+	if way < 0 {
+		return Line{}, false
+	}
+	line := set.Lines[way]
+	if c.evictObs != nil {
+		c.evictObs.ObserveEviction(setIdx, line)
+	}
+	set.Lines[way] = Line{}
+	return line, true
+}
+
+// Occupancy returns the number of valid lines (for tests and reports).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].Lines {
+			if c.sets[i].Lines[j].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

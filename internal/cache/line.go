@@ -1,0 +1,37 @@
+package cache
+
+import "nucache/internal/trace"
+
+// Line is one physical cache line's bookkeeping (no data is modelled).
+type Line struct {
+	// Tag is the line address (Addr >> offsetBits), unique across the cache.
+	Tag uint64
+	// PC is the program counter of the instruction whose miss filled the
+	// line; PC-indexed mechanisms (NUcache) key off this.
+	PC uint64
+	// Core is the index of the core that filled the line.
+	Core int
+	// Meta is a scratch word owned by the replacement policy
+	// (RRPV, Belady next-use, ...).
+	Meta uint64
+	// Valid marks the line as present.
+	Valid bool
+	// Dirty marks the line as modified (fills by stores, hit stores).
+	Dirty bool
+}
+
+// Request is one access presented to a cache.
+type Request struct {
+	// Addr is the byte address.
+	Addr uint64
+	// PC is the accessing instruction (core-tagged by the CPU model).
+	PC uint64
+	// Core is the index of the issuing core.
+	Core int
+	// Kind is load or store.
+	Kind trace.Kind
+	// Seq is the per-cache access sequence number, assigned by the cache
+	// before policy hooks run. Offline policies (Belady OPT) use it to
+	// index precomputed future knowledge.
+	Seq uint64
+}

@@ -1,0 +1,153 @@
+package cache
+
+// SetState is opaque per-set replacement state owned by the policy.
+type SetState interface{}
+
+// Set is one cache set: the physical lines plus the policy's logical
+// organization of them.
+type Set struct {
+	// Lines are the physical ways.
+	Lines []Line
+	// State is the policy's per-set state (may be nil).
+	State SetState
+}
+
+// FindInvalid returns the index of the first invalid way, or -1.
+func (s *Set) FindInvalid() int {
+	for i := range s.Lines {
+		if !s.Lines[i].Valid {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns the way holding tag, or -1.
+func (s *Set) Lookup(tag uint64) int {
+	for i := range s.Lines {
+		if s.Lines[i].Valid && s.Lines[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// WayList is an ordered list of way indices, the building block for
+// recency stacks (LRU/DIP), priority lists (PIPP) and FIFO regions
+// (NUcache DeliWays). Position 0 is the "front" — by convention the MRU
+// or highest-priority end; the back is the victim end.
+//
+// A WayList never contains duplicates; all mutators preserve that
+// invariant given distinct inputs.
+type WayList struct {
+	ways []int8
+}
+
+// NewWayList returns an empty list with capacity for ways entries.
+func NewWayList(ways int) *WayList {
+	return &WayList{ways: make([]int8, 0, ways)}
+}
+
+// Len returns the number of entries.
+func (l *WayList) Len() int { return len(l.ways) }
+
+// At returns the way at position i (0 = front).
+func (l *WayList) At(i int) int { return int(l.ways[i]) }
+
+// Front returns the way at the front; panics if empty.
+func (l *WayList) Front() int { return int(l.ways[0]) }
+
+// Back returns the way at the back (victim end); panics if empty.
+func (l *WayList) Back() int { return int(l.ways[len(l.ways)-1]) }
+
+// PushFront inserts way at the front (MRU position).
+func (l *WayList) PushFront(way int) {
+	l.ways = append(l.ways, 0)
+	copy(l.ways[1:], l.ways)
+	l.ways[0] = int8(way)
+}
+
+// PushBack inserts way at the back (LRU position).
+func (l *WayList) PushBack(way int) {
+	l.ways = append(l.ways, int8(way))
+}
+
+// InsertAt places way so that it ends up at position pos from the front
+// (pos clamped to [0, Len()]).
+func (l *WayList) InsertAt(pos, way int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(l.ways) {
+		pos = len(l.ways)
+	}
+	l.ways = append(l.ways, 0)
+	copy(l.ways[pos+1:], l.ways[pos:])
+	l.ways[pos] = int8(way)
+}
+
+// IndexOf returns the position of way, or -1.
+func (l *WayList) IndexOf(way int) int {
+	for i, w := range l.ways {
+		if int(w) == way {
+			return i
+		}
+	}
+	return -1
+}
+
+// Remove deletes way from the list; returns false if absent.
+func (l *WayList) Remove(way int) bool {
+	i := l.IndexOf(way)
+	if i < 0 {
+		return false
+	}
+	l.RemoveAt(i)
+	return true
+}
+
+// RemoveAt deletes the entry at position i.
+func (l *WayList) RemoveAt(i int) {
+	copy(l.ways[i:], l.ways[i+1:])
+	l.ways = l.ways[:len(l.ways)-1]
+}
+
+// PopBack removes and returns the back entry; panics if empty.
+func (l *WayList) PopBack() int {
+	w := l.Back()
+	l.ways = l.ways[:len(l.ways)-1]
+	return w
+}
+
+// PopFront removes and returns the front entry; panics if empty.
+func (l *WayList) PopFront() int {
+	w := l.Front()
+	l.RemoveAt(0)
+	return w
+}
+
+// MoveToFront relocates way to the front; it must be present.
+func (l *WayList) MoveToFront(way int) {
+	i := l.IndexOf(way)
+	if i < 0 {
+		panic("cache: MoveToFront of absent way")
+	}
+	l.RemoveAt(i)
+	l.PushFront(way)
+}
+
+// MoveUp swaps way one position toward the front (no-op at the front).
+// Returns false if way is absent.
+func (l *WayList) MoveUp(way int) bool {
+	i := l.IndexOf(way)
+	if i < 0 {
+		return false
+	}
+	if i > 0 {
+		l.ways[i], l.ways[i-1] = l.ways[i-1], l.ways[i]
+	}
+	return true
+}
+
+// Contains reports whether way is present.
+func (l *WayList) Contains(way int) bool { return l.IndexOf(way) >= 0 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+
+	"nucache/internal/stats"
+)
+
+// Monitor is the Next-Use monitor: on sampled sets it tracks a per-set
+// miss counter and a small FIFO victim table of lines that left the
+// MainWays. When a later access to a sampled set matches a victim-table
+// entry, the elapsed per-set miss count — the *next-use distance* of that
+// line, relative to its MainWays exit — is recorded into the filling PC's
+// histogram. The monitor also ranks PCs by total misses (delinquency).
+type Monitor struct {
+	sampleMask uint64
+	tableCap   int
+	histLin    int
+	histLog    int
+
+	sets map[int]*monitorSet
+	pcs  map[uint64]*PCStats
+
+	// epoch accumulators
+	sampledMisses uint64
+
+	// lifetime counters (never reset; for reports)
+	Reuses        uint64 // victim-table matches recorded
+	TableOverflow uint64 // entries dropped before any reuse was seen
+}
+
+type victimEntry struct {
+	tag    uint64
+	pc     uint64
+	missAt uint64
+}
+
+type monitorSet struct {
+	missCount uint64
+	victims   []victimEntry
+}
+
+// PCStats aggregates one PC's monitored behaviour within an epoch.
+type PCStats struct {
+	// PC is the (core-tagged) instruction address.
+	PC uint64
+	// Misses counts LLC misses by this PC across all sets this epoch.
+	Misses uint64
+	// Demotions counts this PC's lines leaving the MainWays in sampled
+	// sets this epoch — the rate at which the PC would consume DeliWays.
+	Demotions uint64
+	// NextUse is the histogram of observed next-use distances (in
+	// per-set misses) for this PC's lines.
+	NextUse *stats.Histogram
+}
+
+// NewMonitor constructs a monitor from the policy configuration.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{
+		sampleMask: (1 << cfg.SampleShift) - 1,
+		tableCap:   cfg.VictimTableCap,
+		histLin:    cfg.HistLinear,
+		histLog:    cfg.HistLog2,
+		sets:       make(map[int]*monitorSet),
+		pcs:        make(map[uint64]*PCStats),
+	}
+}
+
+// Sampled reports whether setIndex is monitored.
+func (m *Monitor) Sampled(setIndex int) bool {
+	return uint64(setIndex)&m.sampleMask == 0
+}
+
+func (m *Monitor) set(setIndex int) *monitorSet {
+	s := m.sets[setIndex]
+	if s == nil {
+		s = &monitorSet{}
+		m.sets[setIndex] = s
+	}
+	return s
+}
+
+func (m *Monitor) pc(pc uint64) *PCStats {
+	p := m.pcs[pc]
+	if p == nil {
+		p = &PCStats{PC: pc, NextUse: stats.NewHistogram(m.histLin, m.histLog)}
+		m.pcs[pc] = p
+	}
+	return p
+}
+
+// OnAccess observes every access (hit or miss) to the cache. If the tag
+// matches a victim-table entry in a sampled set, the next-use distance is
+// recorded and the entry retired.
+func (m *Monitor) OnAccess(setIndex int, tag uint64) {
+	if !m.Sampled(setIndex) {
+		return
+	}
+	s := m.sets[setIndex]
+	if s == nil {
+		return
+	}
+	for i := range s.victims {
+		if s.victims[i].tag == tag {
+			e := s.victims[i]
+			m.pc(e.pc).NextUse.Record(s.missCount - e.missAt)
+			s.victims = append(s.victims[:i], s.victims[i+1:]...)
+			m.Reuses++
+			return
+		}
+	}
+}
+
+// OnMiss observes an LLC miss by pc in setIndex.
+func (m *Monitor) OnMiss(setIndex int, pc uint64) {
+	m.pc(pc).Misses++
+	if m.Sampled(setIndex) {
+		m.set(setIndex).missCount++
+		m.sampledMisses++
+	}
+}
+
+// OnDemotion observes a line (tag, filled by pc) leaving the MainWays of
+// setIndex, whether it is evicted outright or retained in the DeliWays.
+func (m *Monitor) OnDemotion(setIndex int, tag, pc uint64) {
+	if !m.Sampled(setIndex) {
+		return
+	}
+	s := m.set(setIndex)
+	m.pc(pc).Demotions++
+	if len(s.victims) >= m.tableCap {
+		// Oldest entry never saw a reuse within the table's window.
+		s.victims = s.victims[1:]
+		m.TableOverflow++
+	}
+	s.victims = append(s.victims, victimEntry{tag: tag, pc: pc, missAt: s.missCount})
+}
+
+// SampledMisses returns the number of misses observed at sampled sets
+// this epoch.
+func (m *Monitor) SampledMisses() uint64 { return m.sampledMisses }
+
+// TopCandidates returns the n most delinquent PCs of the epoch, ordered
+// by descending miss count.
+func (m *Monitor) TopCandidates(n int) []*PCStats {
+	all := make([]*PCStats, 0, len(m.pcs))
+	for _, p := range m.pcs {
+		if p.Misses > 0 {
+			all = append(all, p)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Misses != all[j].Misses {
+			return all[i].Misses > all[j].Misses
+		}
+		return all[i].PC < all[j].PC // deterministic tie-break
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// TotalMisses returns the number of misses recorded across all PCs this
+// epoch (used by characterization experiments).
+func (m *Monitor) TotalMisses() uint64 {
+	var t uint64
+	for _, p := range m.pcs {
+		t += p.Misses
+	}
+	return t
+}
+
+// EndEpoch clears per-epoch statistics. Victim tables and per-set miss
+// counters persist so in-flight distances spanning the boundary remain
+// measurable.
+func (m *Monitor) EndEpoch() {
+	m.pcs = make(map[uint64]*PCStats)
+	m.sampledMisses = 0
+}

@@ -1,0 +1,408 @@
+// Package cpu provides the trace-driven multicore timing model: private
+// L1 data caches per core, a shared last-level cache with a pluggable
+// policy, and a fixed-latency memory behind it. Cores are in-order with
+// one-cycle non-memory instructions; memory instructions stall for the
+// latency of whichever level services them. The engine interleaves cores
+// in global cycle order, so shared-cache interference is deterministic.
+//
+// Known simplification (documented in DESIGN.md): no MLP or bandwidth
+// model — each miss pays the full latency. This compresses absolute IPC
+// but preserves the relative orderings that the NUcache evaluation is
+// about, since all policies are measured under the same model.
+package cpu
+
+import (
+	"fmt"
+
+	"nucache/internal/cache"
+	"nucache/internal/memory"
+	"nucache/internal/trace"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of cores (each gets a private L1).
+	Cores int
+	// L1 is the per-core L1 geometry (Name/Cores fields are overridden).
+	L1 cache.Config
+	// L2 is an optional private per-core L2 (SizeBytes 0 disables it).
+	L2 cache.Config
+	// LLC is the shared last-level cache geometry.
+	LLC cache.Config
+	// L1Latency is the cycles charged for an L1 hit.
+	L1Latency uint64
+	// L2Latency is the additional cycles for a private-L2 hit.
+	L2Latency uint64
+	// LLCLatency is the additional cycles for an LLC hit.
+	LLCLatency uint64
+	// MemLatency is the additional cycles for an LLC miss (flat model).
+	MemLatency uint64
+	// DRAM, when non-nil, replaces the flat MemLatency with a bank/
+	// row-buffer main-memory model (see internal/memory).
+	DRAM *memory.Config
+	// InstrBudget freezes a core's statistics once it has retired this
+	// many instructions (the core keeps running to preserve contention
+	// until every core is frozen). Zero means run streams to exhaustion.
+	InstrBudget uint64
+	// WarmupInstr, when positive, excludes each core's first N retired
+	// instructions from its recorded statistics (caches stay warm; only
+	// the counters are re-based). Standard simulation methodology for
+	// hiding cold-start effects.
+	WarmupInstr uint64
+	// PrefetchDegree, when positive, models a per-core next-line
+	// prefetcher: every demand L1 miss also brings the next N lines into
+	// the LLC (tagged with the triggering PC, so PC-indexed policies see
+	// them the way the hardware proposal would). Prefetches are free in
+	// time; with prefetching enabled the per-core LLC statistics include
+	// prefetch traffic, as real hardware counters do.
+	PrefetchDegree int
+}
+
+// DefaultConfig returns the reconstruction's machine for the given core
+// count: 32 KB 8-way L1s and a 16-way shared LLC sized 1 MB for 1-2
+// cores, 2 MB for 3-4, 4 MB for more (see DESIGN.md).
+func DefaultConfig(cores int) Config {
+	llcSize := 1 << 20
+	switch {
+	case cores > 4:
+		llcSize = 4 << 20
+	case cores > 2:
+		llcSize = 2 << 20
+	}
+	return Config{
+		Cores:       cores,
+		L1:          cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		LLC:         cache.Config{SizeBytes: llcSize, Ways: 16, LineBytes: 64},
+		L1Latency:   1,
+		LLCLatency:  12,
+		MemLatency:  200,
+		InstrBudget: 0,
+	}
+}
+
+// CoreResult is one core's frozen statistics.
+type CoreResult struct {
+	// Core is the core index.
+	Core int
+	// Instructions retired at freeze (memory + non-memory).
+	Instructions uint64
+	// Cycles elapsed at freeze.
+	Cycles uint64
+	// MemAccesses issued at freeze.
+	MemAccesses uint64
+	// L1Hits and L1Misses at freeze.
+	L1Hits, L1Misses uint64
+	// LLCAccesses, LLCHits and LLCMisses attributed to this core at
+	// freeze (demand accesses; writebacks excluded).
+	LLCAccesses, LLCHits, LLCMisses uint64
+}
+
+// IPC returns instructions per cycle (0 if no cycles elapsed).
+func (r CoreResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// LLCMPKI returns LLC misses per thousand instructions.
+func (r CoreResult) LLCMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.LLCMisses) / float64(r.Instructions)
+}
+
+// L1MissRate returns the L1 miss ratio.
+func (r CoreResult) L1MissRate() float64 {
+	t := r.L1Hits + r.L1Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) / float64(t)
+}
+
+const (
+	// coreAddrShift separates per-core address spaces (multiprogrammed
+	// workloads share nothing).
+	coreAddrShift = 40
+	// corePCShift tags PCs with the core index so PC-indexed mechanisms
+	// never alias across programs.
+	corePCShift = 48
+)
+
+type coreState struct {
+	index    int
+	stream   trace.Stream
+	l1       *cache.Cache
+	l2       *cache.Cache // nil when the private L2 is disabled
+	time     uint64
+	instr    uint64
+	mem      uint64
+	recorded bool // statistics snapshotted at the instruction budget
+	stopped  bool // stream exhausted; no further issue
+	warmed   bool // warm-up baseline captured
+	base     CoreResult
+	result   CoreResult
+}
+
+// System is a runnable multicore simulation.
+type System struct {
+	cfg   Config
+	cores []*coreState
+	llc   *cache.Cache
+	dram  *memory.DRAM // nil under the flat-latency model
+
+	// Writebacks counts L1 dirty evictions forwarded to the LLC.
+	Writebacks uint64
+	// PrefetchIssued counts next-line prefetches sent to the LLC.
+	PrefetchIssued uint64
+}
+
+// NewSystem builds a system with one stream per core and the given LLC
+// policy. It panics on mismatched stream count or invalid geometry
+// (experiment-setup programming errors).
+func NewSystem(cfg Config, llcPolicy cache.Policy, streams []trace.Stream) *System {
+	if cfg.Cores <= 0 {
+		panic("cpu: non-positive core count")
+	}
+	if len(streams) != cfg.Cores {
+		panic(fmt.Sprintf("cpu: %d streams for %d cores", len(streams), cfg.Cores))
+	}
+	llcCfg := cfg.LLC
+	if llcCfg.Name == "" {
+		llcCfg.Name = "LLC"
+	}
+	llcCfg.Cores = cfg.Cores
+	s := &System{
+		cfg: cfg,
+		llc: cache.New(llcCfg, llcPolicy),
+	}
+	if cfg.DRAM != nil {
+		s.dram = memory.New(*cfg.DRAM)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		l1Cfg := cfg.L1
+		l1Cfg.Name = fmt.Sprintf("L1D-%d", i)
+		l1Cfg.Cores = 1
+		c := &coreState{
+			index:  i,
+			stream: streams[i],
+			l1:     cache.New(l1Cfg, newL1LRU()),
+		}
+		if cfg.L2.SizeBytes > 0 {
+			l2Cfg := cfg.L2
+			l2Cfg.Name = fmt.Sprintf("L2-%d", i)
+			l2Cfg.Cores = 1
+			c.l2 = cache.New(l2Cfg, newL1LRU())
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// DRAM exposes the memory model when enabled (nil otherwise).
+func (s *System) DRAM() *memory.DRAM { return s.dram }
+
+// LLC exposes the shared cache (policy inspection, stats).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// Run executes the simulation and returns per-core results. Each core's
+// statistics are snapshotted when it reaches the instruction budget, but
+// the core keeps issuing until every core has been snapshotted, so the
+// slowest core experiences full contention over its entire measured
+// window (the standard multiprogrammed-workload methodology).
+func (s *System) Run() []CoreResult {
+	for !s.allRecorded() {
+		c := s.nextCore()
+		if c == nil {
+			break // every stream exhausted
+		}
+		s.step(c)
+	}
+	out := make([]CoreResult, len(s.cores))
+	for i, c := range s.cores {
+		if !c.recorded {
+			s.record(c)
+		}
+		out[i] = c.result
+	}
+	return out
+}
+
+func (s *System) allRecorded() bool {
+	for _, c := range s.cores {
+		if !c.recorded {
+			return false
+		}
+	}
+	return true
+}
+
+// nextCore picks the still-issuing core with the smallest local clock
+// (ties broken by index for determinism).
+func (s *System) nextCore() *coreState {
+	var best *coreState
+	for _, c := range s.cores {
+		if c.stopped {
+			continue
+		}
+		if best == nil || c.time < best.time {
+			best = c
+		}
+	}
+	return best
+}
+
+// step advances one memory access on core c.
+func (s *System) step(c *coreState) {
+	a, ok := c.stream.Next()
+	if !ok {
+		if !c.recorded {
+			s.record(c)
+		}
+		c.stopped = true
+		return
+	}
+	addr := a.Addr + uint64(c.index)<<coreAddrShift
+	pc := a.PC | uint64(c.index)<<corePCShift
+
+	c.time += uint64(a.Gap) // non-memory instructions, 1 cycle each
+
+	l1res := c.l1.Access(&cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind})
+	switch {
+	case l1res.Hit:
+		c.time += s.cfg.L1Latency
+	case c.l2 != nil:
+		c.time += s.cfg.L1Latency + s.cfg.L2Latency
+		l2res := c.l2.Access(&cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind})
+		// The L1 victim drains into the private L2 (posted).
+		if l1res.EvictedValid && l1res.Evicted.Dirty {
+			s.Writebacks++
+			c.l2.Access(&cache.Request{
+				Addr: l1res.Evicted.Tag << 6, PC: l1res.Evicted.PC,
+				Core: 0, Kind: trace.Store,
+			})
+		}
+		if !l2res.Hit {
+			s.accessLLC(c, addr, pc, a.Kind, l2res)
+		}
+	default:
+		c.time += s.cfg.L1Latency
+		s.accessLLC(c, addr, pc, a.Kind, l1res)
+	}
+
+	c.instr += uint64(a.Gap) + 1
+	c.mem++
+	if s.cfg.WarmupInstr > 0 && !c.warmed && c.instr >= s.cfg.WarmupInstr {
+		c.warmed = true
+		c.base = s.snapshot(c)
+	}
+	if s.cfg.InstrBudget > 0 && !c.recorded && c.instr >= s.cfg.InstrBudget {
+		s.record(c)
+	}
+}
+
+// accessLLC services a private-hierarchy miss at the shared LLC (and main
+// memory beyond it), charging latency to the core and forwarding the
+// private victim's writeback. upper is the access result of the deepest
+// private level, whose victim must drain into the LLC.
+func (s *System) accessLLC(c *coreState, addr, pc uint64, kind trace.Kind, upper cache.AccessResult) {
+	llcRes := s.llc.Access(&cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: kind})
+	if llcRes.Hit {
+		c.time += s.cfg.LLCLatency
+	} else if s.dram != nil {
+		c.time += s.cfg.LLCLatency + s.dram.Access(addr)
+	} else {
+		c.time += s.cfg.LLCLatency + s.cfg.MemLatency
+	}
+	// An evicted dirty LLC line is written to memory (posted; row state
+	// only matters under the DRAM model).
+	if llcRes.EvictedValid && llcRes.Evicted.Dirty && s.dram != nil {
+		s.dram.Touch(llcRes.Evicted.Tag << 6)
+	}
+	for d := 1; d <= s.cfg.PrefetchDegree; d++ {
+		s.PrefetchIssued++
+		s.llc.Access(&cache.Request{
+			Addr: addr + uint64(d)*uint64(s.cfg.LLC.LineBytes),
+			PC:   pc, Core: c.index, Kind: trace.Load,
+		})
+	}
+	if upper.EvictedValid && upper.Evicted.Dirty {
+		// Posted writeback: updates LLC state but does not stall.
+		s.Writebacks++
+		s.llc.Access(&cache.Request{
+			Addr: upper.Evicted.Tag << 6, PC: upper.Evicted.PC,
+			Core: c.index, Kind: trace.Store,
+		})
+	}
+}
+
+// snapshot reads a core's cumulative counters.
+func (s *System) snapshot(c *coreState) CoreResult {
+	return CoreResult{
+		Core:         c.index,
+		Instructions: c.instr,
+		Cycles:       c.time,
+		MemAccesses:  c.mem,
+		L1Hits:       c.l1.Stats.Hits,
+		L1Misses:     c.l1.Stats.Misses,
+		LLCAccesses:  s.llc.Stats.CoreAccesses[c.index],
+		LLCHits:      s.llc.Stats.CoreHits[c.index],
+		LLCMisses:    s.llc.Stats.CoreMisses[c.index],
+	}
+}
+
+// record snapshots a core's statistics at its measurement endpoint,
+// re-based past the warm-up region when one was configured.
+func (s *System) record(c *coreState) {
+	c.recorded = true
+	r := s.snapshot(c)
+	b := c.base // zero when no warm-up
+	c.result = CoreResult{
+		Core:         c.index,
+		Instructions: r.Instructions - b.Instructions,
+		Cycles:       r.Cycles - b.Cycles,
+		MemAccesses:  r.MemAccesses - b.MemAccesses,
+		L1Hits:       r.L1Hits - b.L1Hits,
+		L1Misses:     r.L1Misses - b.L1Misses,
+		LLCAccesses:  r.LLCAccesses - b.LLCAccesses,
+		LLCHits:      r.LLCHits - b.LLCHits,
+		LLCMisses:    r.LLCMisses - b.LLCMisses,
+	}
+}
+
+// newL1LRU returns the fixed L1 replacement policy. L1s are always LRU;
+// the evaluated policies apply to the shared LLC only.
+func newL1LRU() cache.Policy { return l1lru{} }
+
+// l1lru is a small self-contained LRU so package cpu does not depend on
+// package policy (which would invert the dependency layering for tests).
+type l1lru struct{}
+
+type l1State struct{ stack *cache.WayList }
+
+func (l1lru) Name() string { return "LRU" }
+
+func (l1lru) NewSetState(int) cache.SetState {
+	return &l1State{stack: cache.NewWayList(16)}
+}
+
+func (l1lru) OnHit(set *cache.Set, way int, _ *cache.Request) {
+	set.State.(*l1State).stack.MoveToFront(way)
+}
+
+func (l1lru) Victim(set *cache.Set, _ *cache.Request) int {
+	st := set.State.(*l1State)
+	if inv := set.FindInvalid(); inv >= 0 {
+		st.stack.Remove(inv)
+		return inv
+	}
+	return st.stack.Back()
+}
+
+func (l1lru) OnInsert(set *cache.Set, way int, _ *cache.Request) {
+	st := set.State.(*l1State)
+	st.stack.Remove(way)
+	st.stack.PushFront(way)
+}

@@ -1,0 +1,223 @@
+// Package experiments contains one runner per table/figure of the NUcache
+// evaluation (the experiment index lives in DESIGN.md; measured-vs-paper
+// results in EXPERIMENTS.md). Each runner builds the machine, drives the
+// workloads, and renders a text table shaped like the paper's artifact.
+package experiments
+
+import (
+	"fmt"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/memory"
+	"nucache/internal/metrics"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+// Options are the global run parameters shared by all experiments.
+type Options struct {
+	// Budget is the per-core instruction budget (0 = 5M).
+	Budget uint64
+	// Seed drives all workload generators (0 = 1).
+	Seed uint64
+	// MixLimit truncates the standard mix lists (0 = all); tests use it.
+	MixLimit int
+	// BenchLimit truncates the benchmark list (0 = all); tests use it.
+	BenchLimit int
+	// Only restricts benchmark-driven experiments to one benchmark name
+	// (empty = all).
+	Only string
+	// PrefetchDegree enables the next-line prefetcher on every core
+	// (0 = off); used by the E17 prefetch-interaction study.
+	PrefetchDegree int
+	// UseDRAM switches the machine to the bank/row-buffer memory model
+	// (used by the E18 memory-model study).
+	UseDRAM bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 5_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) mixes(cores int) []workload.Mix {
+	ms := workload.MixesFor(cores)
+	if o.MixLimit > 0 && len(ms) > o.MixLimit {
+		ms = ms[:o.MixLimit]
+	}
+	return ms
+}
+
+func (o Options) benchmarks() []workload.Benchmark {
+	if o.Only != "" {
+		return []workload.Benchmark{workload.MustByName(o.Only)}
+	}
+	bs := workload.All()
+	if o.BenchLimit > 0 && len(bs) > o.BenchLimit {
+		bs = bs[:o.BenchLimit]
+	}
+	return bs
+}
+
+// PolicySpec names a shared-LLC policy and knows how to build a fresh
+// instance for a machine.
+type PolicySpec struct {
+	// Name appears in result tables.
+	Name string
+	// New builds the policy for a machine with the given core count and
+	// LLC associativity.
+	New func(cores, ways int) cache.Policy
+}
+
+// Baseline is the baseline policy every comparison normalizes to.
+func Baseline() PolicySpec {
+	return PolicySpec{Name: "LRU", New: func(int, int) cache.Policy { return policy.NewLRU() }}
+}
+
+// NUcacheSpec is the paper's mechanism with default parameters.
+func NUcacheSpec() PolicySpec {
+	return PolicySpec{Name: "NUcache", New: func(_, ways int) cache.Policy {
+		return core.MustNew(core.DefaultConfig(ways))
+	}}
+}
+
+// NUcacheWith builds a spec from an explicit configuration (sweeps).
+func NUcacheWith(name string, cfg func(ways int) core.Config) PolicySpec {
+	return PolicySpec{Name: name, New: func(_, ways int) cache.Policy {
+		return core.MustNew(cfg(ways))
+	}}
+}
+
+// Competitors returns the cache-partitioning policies the paper compares
+// against: UCP, PIPP and TADIP.
+func Competitors() []PolicySpec {
+	return []PolicySpec{
+		{Name: "UCP", New: func(cores, ways int) cache.Policy {
+			return policy.NewUCP(cores, ways)
+		}},
+		{Name: "PIPP", New: func(cores, ways int) cache.Policy {
+			return policy.NewPIPP(cores, ways, 12345)
+		}},
+		{Name: "TADIP", New: func(cores, _ int) cache.Policy {
+			return policy.NewTADIP(cores, 12345)
+		}},
+	}
+}
+
+// StandardPolicies is baseline + NUcache + competitors, the lineup of the
+// multicore comparison figures.
+func StandardPolicies() []PolicySpec {
+	return append([]PolicySpec{Baseline(), NUcacheSpec()}, Competitors()...)
+}
+
+// machine returns the simulated machine for a core count with the
+// experiment budget applied.
+func (o Options) machine(cores int) cpu.Config {
+	cfg := cpu.DefaultConfig(cores)
+	cfg.InstrBudget = o.Budget
+	cfg.PrefetchDegree = o.PrefetchDegree
+	if o.UseDRAM {
+		d := memory.DefaultConfig()
+		cfg.DRAM = &d
+	}
+	return cfg
+}
+
+// runMix simulates one mix under one policy and returns per-core results.
+func (o Options) runMix(m workload.Mix, spec PolicySpec) ([]cpu.CoreResult, *cpu.System) {
+	cfg := o.machine(m.Cores())
+	pol := spec.New(cfg.Cores, cfg.LLC.Ways)
+	sys := cpu.NewSystem(cfg, pol, m.Streams(o.Seed))
+	return sys.Run(), sys
+}
+
+// runAlone simulates one benchmark alone on the same machine geometry
+// (the denominator of weighted speedup). Results are memoized per
+// (benchmark, LLC size, budget, seed).
+type aloneKey struct {
+	bench    string
+	llcSize  int
+	budget   uint64
+	seed     uint64
+	prefetch int
+	dram     bool
+}
+
+var aloneCache = map[aloneKey]float64{}
+
+func (o Options) aloneIPC(bench string, cores int) float64 {
+	cfg := o.machine(cores)
+	cfg.Cores = 1
+	key := aloneKey{
+		bench: bench, llcSize: cfg.LLC.SizeBytes,
+		budget: o.Budget, seed: o.Seed, prefetch: o.PrefetchDegree,
+		dram: o.UseDRAM,
+	}
+	if ipc, ok := aloneCache[key]; ok {
+		return ipc
+	}
+	b := workload.MustByName(bench)
+	sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{b.Stream(o.Seed)})
+	ipc := sys.Run()[0].IPC()
+	aloneCache[key] = ipc
+	return ipc
+}
+
+// MixMetrics summarizes one (mix, policy) run.
+type MixMetrics struct {
+	// IPC is the per-core shared-mode IPC.
+	IPC []float64
+	// WS is weighted speedup vs alone runs.
+	WS float64
+	// ANTT is average normalized turnaround time (lower is better).
+	ANTT float64
+	// HS is the harmonic mean of speedups.
+	HS float64
+	// Fairness is min/max speedup.
+	Fairness float64
+	// MPKI is the aggregate LLC misses per kilo-instruction.
+	MPKI float64
+}
+
+func (o Options) mixMetrics(m workload.Mix, spec PolicySpec) MixMetrics {
+	res, _ := o.runMix(m, spec)
+	shared := make([]float64, len(res))
+	var misses, instr uint64
+	for i, r := range res {
+		shared[i] = r.IPC()
+		misses += r.LLCMisses
+		instr += r.Instructions
+	}
+	alone := make([]float64, len(res))
+	for i, name := range m.Members {
+		alone[i] = o.aloneIPC(name, m.Cores())
+	}
+	mm := MixMetrics{
+		IPC:      shared,
+		WS:       metrics.WeightedSpeedup(shared, alone),
+		ANTT:     metrics.ANTT(shared, alone),
+		HS:       metrics.HarmonicSpeedup(shared, alone),
+		Fairness: metrics.Fairness(shared, alone),
+	}
+	if instr > 0 {
+		mm.MPKI = 1000 * float64(misses) / float64(instr)
+	}
+	return mm
+}
+
+// fmtPC renders a core-tagged PC the way the harness prints them.
+func fmtPC(pc uint64) string {
+	core := pc >> 48
+	if core != 0 {
+		return fmt.Sprintf("c%d:%#x", core, pc&(1<<48-1))
+	}
+	return fmt.Sprintf("%#x", pc)
+}

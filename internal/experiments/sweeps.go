@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nucache/internal/core"
+	"nucache/internal/metrics"
+	"nucache/internal/stats"
+)
+
+// SweepPoint is one configuration's aggregate result in a sensitivity
+// sweep: geometric-mean weighted-speedup improvement over LRU across the
+// 4-core mixes.
+type SweepPoint struct {
+	Label   string
+	Geomean float64
+}
+
+// SweepResult holds one sensitivity experiment (E9/E10/E12/E13).
+type SweepResult struct {
+	ID     int
+	Title  string
+	Points []SweepPoint
+}
+
+// sweep evaluates NUcache variants against the shared LRU baseline on the
+// 4-core mixes.
+func (o Options) sweep(id int, title string, variants []PolicySpec) *SweepResult {
+	o = o.withDefaults()
+	res := &SweepResult{ID: id, Title: title}
+	mixes := o.mixes(4)
+	base := Baseline()
+	baseWS := make([]float64, len(mixes))
+	for i, m := range mixes {
+		baseWS[i] = o.mixMetrics(m, base).WS
+	}
+	for _, v := range variants {
+		ratios := make([]float64, 0, len(mixes))
+		for i, m := range mixes {
+			if baseWS[i] > 0 {
+				ratios = append(ratios, o.mixMetrics(m, v).WS/baseWS[i])
+			}
+		}
+		res.Points = append(res.Points, SweepPoint{Label: v.Name, Geomean: stats.GeoMean(ratios)})
+	}
+	return res
+}
+
+// DeliWaysSweep runs experiment E9: sensitivity to the MainWays/DeliWays
+// split at fixed total associativity.
+func DeliWaysSweep(o Options) *SweepResult {
+	var variants []PolicySpec
+	for _, d := range []int{2, 4, 6, 8, 10} {
+		d := d
+		variants = append(variants, NUcacheWith(fmt.Sprintf("D=%d", d), func(ways int) core.Config {
+			cfg := core.DefaultConfig(ways)
+			cfg.DeliWays = d
+			return cfg
+		}))
+	}
+	return o.sweep(9, "E9: DeliWays count (of 16 ways), 4-core WS gain over LRU", variants)
+}
+
+// PCCountSweep runs experiment E10: sensitivity to the candidate pool /
+// chosen-set cap, plus the lifetime-slack ablation.
+func PCCountSweep(o Options) *SweepResult {
+	var variants []PolicySpec
+	for _, n := range []int{1, 2, 4, 8, 32} {
+		n := n
+		variants = append(variants, NUcacheWith(fmt.Sprintf("maxChosen=%d", n), func(ways int) core.Config {
+			cfg := core.DefaultConfig(ways)
+			cfg.MaxChosen = n
+			return cfg
+		}))
+	}
+	for _, s := range []float64{1, 2, 4} {
+		s := s
+		variants = append(variants, NUcacheWith(fmt.Sprintf("slack=%.0f", s), func(ways int) core.Config {
+			cfg := core.DefaultConfig(ways)
+			cfg.LifetimeSlack = s
+			return cfg
+		}))
+	}
+	variants = append(variants, NUcacheWith("no-promote", func(ways int) core.Config {
+		cfg := core.DefaultConfig(ways)
+		cfg.PromoteOnDeliHit = false
+		return cfg
+	}))
+	return o.sweep(10, "E10: PC-selection ablations, 4-core WS gain over LRU", variants)
+}
+
+// EpochSweep runs experiment E12: sensitivity to the selection epoch.
+func EpochSweep(o Options) *SweepResult {
+	var variants []PolicySpec
+	for _, e := range []uint64{25_000, 50_000, 100_000, 200_000, 400_000} {
+		e := e
+		variants = append(variants, NUcacheWith(fmt.Sprintf("epoch=%dk", e/1000), func(ways int) core.Config {
+			cfg := core.DefaultConfig(ways)
+			cfg.EpochMisses = e
+			return cfg
+		}))
+	}
+	return o.sweep(12, "E12: selection epoch length (LLC misses), 4-core WS gain over LRU", variants)
+}
+
+// SamplingSweep runs experiment E13: monitor set-sampling ratio.
+func SamplingSweep(o Options) *SweepResult {
+	var variants []PolicySpec
+	for _, s := range []uint{0, 3, 5, 7, 9} {
+		s := s
+		variants = append(variants, NUcacheWith(fmt.Sprintf("1-in-%d", 1<<s), func(ways int) core.Config {
+			cfg := core.DefaultConfig(ways)
+			cfg.SampleShift = s
+			return cfg
+		}))
+	}
+	return o.sweep(13, "E13: monitor set sampling, 4-core WS gain over LRU", variants)
+}
+
+// Table renders a sweep.
+func (r *SweepResult) Table() *metrics.Table {
+	t := metrics.NewTable(r.Title, "variant", "WS gain over LRU")
+	for _, p := range r.Points {
+		t.AddRow(p.Label, metrics.Pct(p.Geomean))
+	}
+	return t
+}
+
+// AdaptiveResult holds E20 (extension): fixed-D NUcache vs the adaptive
+// MainWays/DeliWays split.
+type AdaptiveResult struct {
+	// GainFixed / GainAdaptive are geometric-mean WS gains over LRU on
+	// the 4-core mixes.
+	GainFixed, GainAdaptive float64
+}
+
+// AdaptiveStudy runs experiment E20.
+func AdaptiveStudy(o Options) *AdaptiveResult {
+	o = o.withDefaults()
+	res := &AdaptiveResult{}
+	fixed := NUcacheSpec()
+	adaptive := NUcacheWith("NUcache-adaptive", func(ways int) core.Config {
+		cfg := core.DefaultConfig(ways)
+		cfg.DeliWays = 8 // maximum; the selection picks 2..8
+		cfg.AdaptiveDeliWays = true
+		return cfg
+	})
+	base := Baseline()
+	var rFixed, rAdaptive []float64
+	for _, m := range o.mixes(4) {
+		b := o.mixMetrics(m, base).WS
+		if b <= 0 {
+			continue
+		}
+		rFixed = append(rFixed, o.mixMetrics(m, fixed).WS/b)
+		rAdaptive = append(rAdaptive, o.mixMetrics(m, adaptive).WS/b)
+	}
+	res.GainFixed = stats.GeoMean(rFixed)
+	res.GainAdaptive = stats.GeoMean(rAdaptive)
+	return res
+}
+
+// Table renders E20.
+func (r *AdaptiveResult) Table() *metrics.Table {
+	t := metrics.NewTable("E20 (extension): fixed vs adaptive MainWays/DeliWays split (4-core mixes)",
+		"configuration", "WS gain over LRU")
+	t.AddRow("fixed D=6", metrics.Pct(r.GainFixed))
+	t.AddRow("adaptive D in {2,4,6,8}", metrics.Pct(r.GainAdaptive))
+	return t
+}

@@ -1,0 +1,116 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testDRAM() *DRAM {
+	return New(Config{Banks: 4, RowBytes: 1 << 10, RowHitLatency: 100, RowMissLatency: 200})
+}
+
+func TestRowHitAfterActivation(t *testing.T) {
+	d := testDRAM()
+	if got := d.Access(0); got != 200 {
+		t.Fatalf("cold access latency %d", got)
+	}
+	if got := d.Access(512); got != 100 {
+		t.Fatalf("same-row latency %d", got)
+	}
+	if d.RowHits != 1 || d.Accesses != 2 {
+		t.Fatalf("stats %d/%d", d.RowHits, d.Accesses)
+	}
+	if d.RowHitRate() != 0.5 {
+		t.Fatalf("rate %v", d.RowHitRate())
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	d := testDRAM()
+	// Rows interleave across 4 banks every 1KB: addresses 0, 1K, 2K, 3K
+	// land in different banks, so activating each leaves the rest open.
+	for bank := uint64(0); bank < 4; bank++ {
+		d.Access(bank << 10)
+	}
+	for bank := uint64(0); bank < 4; bank++ {
+		if got := d.Access(bank<<10 + 64); got != 100 {
+			t.Fatalf("bank %d lost its open row", bank)
+		}
+	}
+}
+
+func TestRowConflictSameBank(t *testing.T) {
+	d := testDRAM()
+	d.Access(0)
+	// Same bank (0), different row: 4 banks x 1KB rows -> stride 4KB.
+	if got := d.Access(4 << 10); got != 200 {
+		t.Fatalf("row conflict latency %d", got)
+	}
+	// The original row is now closed.
+	if got := d.Access(0); got != 200 {
+		t.Fatalf("closed row latency %d", got)
+	}
+}
+
+func TestTouchUpdatesState(t *testing.T) {
+	d := testDRAM()
+	d.Touch(0)
+	if got := d.Access(64); got != 100 {
+		t.Fatalf("touch did not open row: %d", got)
+	}
+}
+
+func TestLatencyAlwaysHitOrMiss(t *testing.T) {
+	d := testDRAM()
+	if err := quick.Check(func(addr uint64) bool {
+		l := d.Access(addr)
+		return l == 100 || l == 200
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialBeatsRandomRowLocality(t *testing.T) {
+	seq := testDRAM()
+	for i := uint64(0); i < 4096; i++ {
+		seq.Access(i * 64)
+	}
+	rnd := testDRAM()
+	x := uint64(2463534242)
+	for i := 0; i < 4096; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		rnd.Access(x &^ 63 % (1 << 30))
+	}
+	if seq.RowHitRate() < 0.9 {
+		t.Fatalf("sequential row-hit rate %v", seq.RowHitRate())
+	}
+	if rnd.RowHitRate() > 0.2 {
+		t.Fatalf("random row-hit rate %v", rnd.RowHitRate())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Banks: 0, RowBytes: 1024, RowHitLatency: 1, RowMissLatency: 2},
+		{Banks: 3, RowBytes: 1024, RowHitLatency: 1, RowMissLatency: 2},
+		{Banks: 4, RowBytes: 1000, RowHitLatency: 1, RowMissLatency: 2},
+		{Banks: 4, RowBytes: 1024, RowHitLatency: 0, RowMissLatency: 2},
+		{Banks: 4, RowBytes: 1024, RowHitLatency: 5, RowMissLatency: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d validated", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New should panic on bad config")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,83 @@
+package policy_test
+
+import (
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+)
+
+func TestHawkeyeLearnsStreamAverse(t *testing.T) {
+	// Set 0 is sampled (1-in-32): train on it. Hot PC loops 3 lines/set;
+	// stream PC floods. Hawkeye must learn the stream PC is averse and
+	// keep the hot lines.
+	const (
+		pcHot    = 0x400100
+		pcStream = 0x400200
+	)
+	c := multiSetCache(32, 4, 1, policy.NewHawkeye(4))
+	streamAddr := uint64(1 << 30)
+	var lastHits int
+	for round := 0; round < 300; round++ {
+		hits := 0
+		for i := uint64(0); i < 3; i++ {
+			for s := uint64(0); s < 32; s++ {
+				r := c.Access(&cache.Request{Addr: i*32*64 + s*64, PC: pcHot, Kind: trace.Load})
+				if r.Hit {
+					hits++
+				}
+			}
+		}
+		for i := 0; i < 6*32; i++ {
+			c.Access(&cache.Request{Addr: streamAddr, PC: pcStream, Kind: trace.Load})
+			streamAddr += 64
+		}
+		lastHits = hits
+	}
+	if lastHits < 80 { // of 96 hot accesses in the last round
+		t.Fatalf("Hawkeye retained only %d/96 hot hits in steady state", lastHits)
+	}
+}
+
+func TestHawkeyeSaneOnFriendlyWorkload(t *testing.T) {
+	// Everything fits: Hawkeye must not lose to LRU by more than noise.
+	run := func(p cache.Policy) uint64 {
+		c := multiSetCache(32, 4, 1, p)
+		for round := 0; round < 40; round++ {
+			for i := uint64(0); i < 64; i++ { // half capacity
+				load(c, 0, i*64)
+			}
+		}
+		return c.Stats.Hits
+	}
+	hawk := run(policy.NewHawkeye(4))
+	lru := run(policy.NewLRU())
+	if float64(hawk) < 0.9*float64(lru) {
+		t.Fatalf("Hawkeye hits %d << LRU %d on friendly workload", hawk, lru)
+	}
+}
+
+func TestHawkeyeOccupancyBounded(t *testing.T) {
+	c := multiSetCache(8, 4, 2, policy.NewHawkeye(4))
+	for i := uint64(0); i < 50000; i++ {
+		c.Access(&cache.Request{
+			Addr: (i * 2654435761) % (1 << 22) &^ 63,
+			PC:   0x400000 + (i%7)*4,
+			Core: int(i % 2),
+			Kind: trace.Load,
+		})
+	}
+	if c.Occupancy() > 32 {
+		t.Fatalf("occupancy %d", c.Occupancy())
+	}
+}
+
+func TestHawkeyePanicsOnBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	policy.NewHawkeye(0)
+}

@@ -1,0 +1,46 @@
+package policy
+
+import "nucache/internal/cache"
+
+// LRU is least-recently-used replacement: hits move lines to the MRU end
+// of a per-set recency stack; the victim is the LRU end. This is the
+// baseline policy in the NUcache evaluation.
+type LRU struct{}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (*LRU) Name() string { return "LRU" }
+
+type lruState struct {
+	stack *cache.WayList
+}
+
+// NewSetState implements cache.Policy.
+func (*LRU) NewSetState(int) cache.SetState {
+	return &lruState{stack: cache.NewWayList(16)}
+}
+
+// OnHit implements cache.Policy.
+func (*LRU) OnHit(set *cache.Set, way int, _ *cache.Request) {
+	set.State.(*lruState).stack.MoveToFront(way)
+}
+
+// Victim implements cache.Policy.
+func (*LRU) Victim(set *cache.Set, _ *cache.Request) int {
+	st := set.State.(*lruState)
+	if inv := set.FindInvalid(); inv >= 0 {
+		// Self-heal if an invalidation left a stale stack entry.
+		st.stack.Remove(inv)
+		return inv
+	}
+	return st.stack.Back()
+}
+
+// OnInsert implements cache.Policy.
+func (*LRU) OnInsert(set *cache.Set, way int, _ *cache.Request) {
+	st := set.State.(*lruState)
+	st.stack.Remove(way)
+	st.stack.PushFront(way)
+}

@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"nucache/internal/cache"
+	"nucache/internal/stats"
+)
+
+// PIPP is promotion/insertion pseudo-partitioning (Xie & Loh, ISCA 2009).
+// Per-core UMONs compute a target partition π with UCP's lookahead; the
+// partition is enforced implicitly: core i inserts new lines at priority
+// position π_i from the bottom of the set's priority list, and hits
+// promote a line by a single position with probability pProm. Streaming
+// cores (almost no reuse in their monitor) are demoted to bottom insertion
+// with a tiny promotion probability so they cannot pollute the cache.
+type PIPP struct {
+	cores int
+	ways  int
+	rng   *stats.RNG
+	umons []*UMON
+	alloc []int
+	strm  []bool
+
+	epochAccesses uint64
+	sinceRepart   uint64
+
+	pProm       float64
+	pPromStream float64
+
+	// Repartitions counts completed epochs (exposed for tests/reports).
+	Repartitions int
+}
+
+// PIPPOption customizes a PIPP policy.
+type PIPPOption func(*PIPP)
+
+// WithPIPPEpoch sets the repartitioning period in LLC accesses.
+func WithPIPPEpoch(accesses uint64) PIPPOption {
+	return func(p *PIPP) { p.epochAccesses = accesses }
+}
+
+// NewPIPP returns a PIPP policy for the given core count and associativity.
+func NewPIPP(cores, ways int, seed uint64, opts ...PIPPOption) *PIPP {
+	if cores <= 0 || ways < cores {
+		panic("policy: PIPP needs ways >= cores >= 1")
+	}
+	p := &PIPP{
+		cores:         cores,
+		ways:          ways,
+		rng:           stats.NewRNG(seed),
+		umons:         make([]*UMON, cores),
+		alloc:         make([]int, cores),
+		strm:          make([]bool, cores),
+		epochAccesses: 500_000,
+		pProm:         3.0 / 4,
+		pPromStream:   1.0 / 128,
+	}
+	for i := range p.umons {
+		p.umons[i] = NewUMON(ways, 5)
+	}
+	for i := range p.alloc {
+		p.alloc[i] = ways / cores
+	}
+	for i := 0; i < ways%cores; i++ {
+		p.alloc[i]++
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (*PIPP) Name() string { return "PIPP" }
+
+// Allocations returns the current target partition π.
+func (p *PIPP) Allocations() []int {
+	out := make([]int, len(p.alloc))
+	copy(out, p.alloc)
+	return out
+}
+
+type pippState struct {
+	prio *cache.WayList // front = highest priority, back = victim
+}
+
+// NewSetState implements cache.Policy.
+func (*PIPP) NewSetState(int) cache.SetState {
+	return &pippState{prio: cache.NewWayList(16)}
+}
+
+// ObserveAccess implements cache.AccessObserver.
+func (p *PIPP) ObserveAccess(setIndex int, tag uint64, req *cache.Request) {
+	core := p.clampCore(req.Core)
+	p.umons[core].Access(setIndex, tag)
+	p.sinceRepart++
+	if p.sinceRepart >= p.epochAccesses {
+		p.sinceRepart = 0
+		p.alloc = LookaheadPartition(p.umons, p.ways, 1)
+		for i, u := range p.umons {
+			// Streaming detection: essentially no reuse at any stack
+			// position despite plenty of traffic.
+			acc := u.Accesses()
+			hits := u.Utility(p.ways)
+			p.strm[i] = acc > 1000 && float64(hits) < float64(acc)/64
+			u.Reset()
+		}
+		p.Repartitions++
+	}
+}
+
+// OnHit implements cache.Policy: single-step probabilistic promotion.
+func (p *PIPP) OnHit(set *cache.Set, way int, req *cache.Request) {
+	st := set.State.(*pippState)
+	prob := p.pProm
+	if p.strm[p.clampCore(req.Core)] {
+		prob = p.pPromStream
+	}
+	if p.rng.Bool(prob) {
+		st.prio.MoveUp(way)
+	}
+}
+
+// Victim implements cache.Policy: lowest priority position.
+func (p *PIPP) Victim(set *cache.Set, _ *cache.Request) int {
+	st := set.State.(*pippState)
+	if inv := set.FindInvalid(); inv >= 0 {
+		st.prio.Remove(inv)
+		return inv
+	}
+	return st.prio.Back()
+}
+
+// OnInsert implements cache.Policy: insert at π_core from the bottom.
+func (p *PIPP) OnInsert(set *cache.Set, way int, req *cache.Request) {
+	st := set.State.(*pippState)
+	st.prio.Remove(way)
+	core := p.clampCore(req.Core)
+	pi := p.alloc[core]
+	if p.strm[core] {
+		pi = 1
+	}
+	// Position pi from the bottom; pi=1 means bottom (immediate victim
+	// candidate), larger allocations insert higher.
+	pos := st.prio.Len() + 1 - pi
+	st.prio.InsertAt(pos, way)
+}
+
+func (p *PIPP) clampCore(c int) int {
+	if c < 0 || c >= p.cores {
+		return 0
+	}
+	return c
+}

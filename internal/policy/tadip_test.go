@@ -1,0 +1,98 @@
+package policy_test
+
+import (
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/policy"
+)
+
+func hitsOn(p cache.Policy, sets, ways, cores int, work func(c *cache.Cache)) uint64 {
+	c := multiSetCache(sets, ways, cores, p)
+	work(c)
+	return c.Stats.Hits
+}
+
+func TestDIPTracksLRUOnFriendlyWorkload(t *testing.T) {
+	friendly := func(c *cache.Cache) {
+		for round := 0; round < 50; round++ {
+			for i := uint64(0); i < 128; i++ { // half of 64x4 capacity
+				load(c, 0, i*64)
+			}
+		}
+	}
+	lru := hitsOn(policy.NewLRU(), 64, 4, 1, friendly)
+	dip := hitsOn(policy.NewDIP(1), 64, 4, 1, friendly)
+	if float64(dip) < 0.8*float64(lru) {
+		t.Fatalf("DIP hits %d << LRU hits %d on LRU-friendly workload", dip, lru)
+	}
+}
+
+func TestDIPBeatsLRUOnThrash(t *testing.T) {
+	thrash := func(c *cache.Cache) {
+		for round := 0; round < 60; round++ {
+			for i := uint64(0); i < 320; i++ { // 1.25x of 256-line capacity
+				load(c, 0, i*64)
+			}
+		}
+	}
+	lru := hitsOn(policy.NewLRU(), 64, 4, 1, thrash)
+	dip := hitsOn(policy.NewDIP(2), 64, 4, 1, thrash)
+	if dip <= lru {
+		t.Fatalf("DIP hits %d <= LRU hits %d on thrashing workload", dip, lru)
+	}
+}
+
+func TestTADIPPerThreadAdaptation(t *testing.T) {
+	// Core 0 has an LRU-friendly working set; core 1 thrashes. TADIP must
+	// insert core 1's lines at LRU so core 0 keeps most of its hits, doing
+	// clearly better than plain LRU for core 0.
+	mixed := func(c *cache.Cache) {
+		for round := 0; round < 200; round++ {
+			for i := uint64(0); i < 64; i++ {
+				load(c, 0, i*64) // fits easily
+			}
+			for i := uint64(0); i < 512; i++ {
+				load(c, 1, 1<<30|i*64) // cycles over 2x capacity
+			}
+		}
+	}
+	core0Hits := func(p cache.Policy) uint64 {
+		c := multiSetCache(64, 4, 2, p)
+		mixed(c)
+		return c.Stats.CoreHits[0]
+	}
+	lru := core0Hits(policy.NewLRU())
+	tadip := core0Hits(policy.NewTADIP(2, 3))
+	if float64(tadip) < 1.2*float64(lru) {
+		t.Fatalf("TADIP core0 hits %d, LRU %d: no thrash protection", tadip, lru)
+	}
+}
+
+func TestTADIPSingleThreadIsDIPName(t *testing.T) {
+	if got := policy.NewDIP(1).Name(); got != "DIP" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := policy.NewTADIP(4, 1).Name(); got != "TADIP" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestTADIPRejectsTooManyThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	policy.NewTADIP(17, 1)
+}
+
+func TestTADIPOutOfRangeCoreClamped(t *testing.T) {
+	c := multiSetCache(8, 4, 2, policy.NewTADIP(2, 1))
+	// Core index beyond threads must not crash.
+	load(c, 7, 0)
+	load(c, -1, 64)
+	if c.Stats.Accesses != 2 {
+		t.Fatal("accesses lost")
+	}
+}

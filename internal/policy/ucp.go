@@ -1,0 +1,152 @@
+package policy
+
+import "nucache/internal/cache"
+
+// UCP is utility-based cache partitioning (Qureshi & Patt, MICRO 2006):
+// per-core UMONs measure each core's utility curve; every epoch the
+// lookahead algorithm re-divides the ways; replacement enforces the
+// per-core way quotas within each set on top of LRU ordering.
+type UCP struct {
+	cores int
+	ways  int
+	umons []*UMON
+	alloc []int
+
+	epochAccesses uint64 // repartition period, in LLC accesses
+	sinceRepart   uint64
+
+	// Repartitions counts completed epochs (exposed for tests/reports).
+	Repartitions int
+}
+
+// UCPOption customizes a UCP policy.
+type UCPOption func(*UCP)
+
+// WithUCPEpoch sets the repartitioning period in LLC accesses.
+func WithUCPEpoch(accesses uint64) UCPOption {
+	return func(u *UCP) { u.epochAccesses = accesses }
+}
+
+// NewUCP returns a UCP policy for the given core count and associativity.
+func NewUCP(cores, ways int, opts ...UCPOption) *UCP {
+	if cores <= 0 || ways < cores {
+		panic("policy: UCP needs ways >= cores >= 1")
+	}
+	u := &UCP{
+		cores:         cores,
+		ways:          ways,
+		umons:         make([]*UMON, cores),
+		alloc:         make([]int, cores),
+		epochAccesses: 500_000,
+	}
+	for i := range u.umons {
+		u.umons[i] = NewUMON(ways, 5) // 1-in-32 set sampling
+	}
+	// Start with an even split.
+	for i := range u.alloc {
+		u.alloc[i] = ways / cores
+	}
+	for i := 0; i < ways%cores; i++ {
+		u.alloc[i]++
+	}
+	for _, o := range opts {
+		o(u)
+	}
+	return u
+}
+
+// Name implements cache.Policy.
+func (*UCP) Name() string { return "UCP" }
+
+// Allocations returns the current per-core way quotas.
+func (u *UCP) Allocations() []int {
+	out := make([]int, len(u.alloc))
+	copy(out, u.alloc)
+	return out
+}
+
+type ucpState struct {
+	stack *cache.WayList
+}
+
+// NewSetState implements cache.Policy.
+func (*UCP) NewSetState(int) cache.SetState {
+	return &ucpState{stack: cache.NewWayList(16)}
+}
+
+// ObserveAccess implements cache.AccessObserver: it feeds the issuing
+// core's UMON and advances the repartitioning epoch.
+func (u *UCP) ObserveAccess(setIndex int, tag uint64, req *cache.Request) {
+	core := u.coreOf(req)
+	u.umons[core].Access(setIndex, tag)
+	u.sinceRepart++
+	if u.sinceRepart >= u.epochAccesses {
+		u.sinceRepart = 0
+		u.alloc = LookaheadPartition(u.umons, u.ways, 1)
+		for _, m := range u.umons {
+			m.Reset()
+		}
+		u.Repartitions++
+	}
+}
+
+// OnHit implements cache.Policy.
+func (*UCP) OnHit(set *cache.Set, way int, _ *cache.Request) {
+	set.State.(*ucpState).stack.MoveToFront(way)
+}
+
+// Victim implements cache.Policy: quota-aware LRU.
+func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
+	st := set.State.(*ucpState)
+	if inv := set.FindInvalid(); inv >= 0 {
+		st.stack.Remove(inv)
+		return inv
+	}
+	core := u.coreOf(req)
+	owned := make([]int, u.cores)
+	for i := range set.Lines {
+		owned[u.clampCore(set.Lines[i].Core)]++
+	}
+	if owned[core] < u.alloc[core] {
+		// Under quota: take the LRU line of any over-quota core.
+		for i := st.stack.Len() - 1; i >= 0; i-- {
+			w := st.stack.At(i)
+			oc := u.clampCore(set.Lines[w].Core)
+			if oc != core && owned[oc] > u.alloc[oc] {
+				return w
+			}
+		}
+		// No over-quota owner (stale quotas): LRU among other cores.
+		for i := st.stack.Len() - 1; i >= 0; i-- {
+			w := st.stack.At(i)
+			if u.clampCore(set.Lines[w].Core) != core {
+				return w
+			}
+		}
+		return st.stack.Back()
+	}
+	// At/over quota: replace own LRU line.
+	for i := st.stack.Len() - 1; i >= 0; i-- {
+		w := st.stack.At(i)
+		if u.clampCore(set.Lines[w].Core) == core {
+			return w
+		}
+	}
+	return st.stack.Back()
+}
+
+// OnInsert implements cache.Policy.
+func (*UCP) OnInsert(set *cache.Set, way int, _ *cache.Request) {
+	st := set.State.(*ucpState)
+	st.stack.Remove(way)
+	st.stack.PushFront(way)
+}
+
+func (u *UCP) coreOf(req *cache.Request) int { return u.clampCore(req.Core) }
+
+func (u *UCP) clampCore(c int) int {
+	if c < 0 || c >= u.cores {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,142 @@
+package policy
+
+// UMON is a utility monitor (Qureshi & Patt, MICRO 2006, "UMON-DSS"):
+// an auxiliary tag directory (ATD) with the cache's associativity, kept on
+// a sampled subset of sets and managed pure-LRU, counting hits per LRU
+// stack position. The cumulative hit counts over positions give the
+// utility curve U(a) = hits the monitored core would see with a ways.
+type UMON struct {
+	ways        int
+	sampleShift uint
+	sets        map[int]*umonSet
+	hits        []uint64
+	misses      uint64
+	accesses    uint64
+}
+
+type umonSet struct {
+	tags []uint64 // MRU first
+}
+
+// NewUMON returns a monitor with the given associativity, sampling one in
+// 1<<sampleShift sets.
+func NewUMON(ways int, sampleShift uint) *UMON {
+	if ways <= 0 {
+		panic("policy: UMON with non-positive ways")
+	}
+	return &UMON{
+		ways:        ways,
+		sampleShift: sampleShift,
+		sets:        make(map[int]*umonSet),
+		hits:        make([]uint64, ways),
+	}
+}
+
+// Sampled reports whether setIndex is monitored.
+func (u *UMON) Sampled(setIndex int) bool {
+	return setIndex&((1<<u.sampleShift)-1) == 0
+}
+
+// Access feeds one access (already known to be in a sampled set or not;
+// non-sampled accesses are ignored).
+func (u *UMON) Access(setIndex int, tag uint64) {
+	if !u.Sampled(setIndex) {
+		return
+	}
+	u.accesses++
+	s := u.sets[setIndex]
+	if s == nil {
+		s = &umonSet{tags: make([]uint64, 0, u.ways)}
+		u.sets[setIndex] = s
+	}
+	for i, t := range s.tags {
+		if t == tag {
+			u.hits[i]++
+			copy(s.tags[1:], s.tags[:i])
+			s.tags[0] = tag
+			return
+		}
+	}
+	u.misses++
+	if len(s.tags) < u.ways {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = tag
+}
+
+// Utility returns the cumulative hits the core would get with a ways
+// (a clamped to [0, ways]).
+func (u *UMON) Utility(a int) uint64 {
+	if a > u.ways {
+		a = u.ways
+	}
+	var sum uint64
+	for i := 0; i < a; i++ {
+		sum += u.hits[i]
+	}
+	return sum
+}
+
+// Accesses returns the number of monitored accesses this epoch.
+func (u *UMON) Accesses() uint64 { return u.accesses }
+
+// Misses returns the number of monitored misses this epoch.
+func (u *UMON) Misses() uint64 { return u.misses }
+
+// Reset halves all counters, aging history so the monitor adapts to phase
+// changes without forgetting everything (as in the hardware proposal).
+func (u *UMON) Reset() {
+	for i := range u.hits {
+		u.hits[i] /= 2
+	}
+	u.misses /= 2
+	u.accesses /= 2
+}
+
+// LookaheadPartition runs UCP's lookahead algorithm: allocate totalWays
+// among the monitors, each core receiving at least minPerCore ways,
+// greedily maximizing marginal utility per way.
+func LookaheadPartition(umons []*UMON, totalWays, minPerCore int) []int {
+	n := len(umons)
+	alloc := make([]int, n)
+	balance := totalWays
+	for i := range alloc {
+		alloc[i] = minPerCore
+		balance -= minPerCore
+	}
+	if balance < 0 {
+		panic("policy: lookahead with totalWays < cores*minPerCore")
+	}
+	for balance > 0 {
+		bestCore, bestK := -1, 0
+		bestMU := -1.0
+		for i, u := range umons {
+			maxK := u.ways - alloc[i]
+			if maxK > balance {
+				maxK = balance
+			}
+			base := u.Utility(alloc[i])
+			for k := 1; k <= maxK; k++ {
+				mu := float64(u.Utility(alloc[i]+k)-base) / float64(k)
+				if mu > bestMU {
+					bestMU, bestCore, bestK = mu, i, k
+				}
+			}
+		}
+		if bestCore < 0 || bestMU <= 0 {
+			// No marginal utility anywhere: spread the remainder evenly
+			// so capacity is never wasted.
+			for i := 0; balance > 0; i = (i + 1) % n {
+				if alloc[i] < umons[i].ways {
+					alloc[i]++
+					balance--
+				}
+			}
+			break
+		}
+		alloc[bestCore] += bestK
+		balance -= bestK
+	}
+	return alloc
+}

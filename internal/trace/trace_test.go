@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample(n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = Access{
+			PC:   uint64(0x400000 + (i%7)*4),
+			Addr: uint64(i * 64),
+			Kind: Kind(i % 2),
+			Gap:  uint32(i % 5),
+		}
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("got %q", Kind(9).String())
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	in := sample(5)
+	s := NewSliceStream(in)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Collect(s, -1)
+	if len(got) != 5 {
+		t.Fatalf("collected %d", len(got))
+	}
+	for i := range got {
+		if got[i] != in[i] {
+			t.Fatalf("access %d mismatch", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded")
+	}
+	s.Reset()
+	if a, ok := s.Next(); !ok || a != in[0] {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	s := NewSliceStream(sample(10))
+	got := Collect(s, 3)
+	if len(got) != 3 {
+		t.Fatalf("collected %d", len(got))
+	}
+}
+
+func TestLimitStream(t *testing.T) {
+	s := NewLimitStream(NewSliceStream(sample(10)), 4)
+	if got := len(Collect(s, -1)); got != 4 {
+		t.Fatalf("limit yielded %d", got)
+	}
+	empty := NewLimitStream(NewSliceStream(sample(2)), 10)
+	if got := len(Collect(empty, -1)); got != 2 {
+		t.Fatalf("short inner yielded %d", got)
+	}
+	if _, ok := empty.Next(); ok {
+		t.Fatal("yielded after inner exhausted")
+	}
+}
+
+func TestFilterStreamAccumulatesGaps(t *testing.T) {
+	in := []Access{
+		{PC: 1, Addr: 0, Gap: 2},
+		{PC: 2, Addr: 64, Gap: 3}, // dropped: contributes 3+1 to next gap
+		{PC: 1, Addr: 128, Gap: 1},
+	}
+	s := NewFilterStream(NewSliceStream(in), func(a Access) bool { return a.PC == 1 })
+	got := Collect(s, -1)
+	if len(got) != 2 {
+		t.Fatalf("kept %d", len(got))
+	}
+	if got[0].Gap != 2 {
+		t.Fatalf("first gap = %d", got[0].Gap)
+	}
+	if got[1].Gap != 1+3+1 {
+		t.Fatalf("second gap = %d, want 5", got[1].Gap)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	n := 0
+	s := FuncStream(func() (Access, bool) {
+		if n >= 3 {
+			return Access{}, false
+		}
+		n++
+		return Access{PC: uint64(n)}, true
+	})
+	if got := len(Collect(s, -1)); got != 3 {
+		t.Fatalf("func stream yielded %d", got)
+	}
+}
+
+func TestConcatStream(t *testing.T) {
+	a := NewSliceStream(sample(2))
+	b := NewSliceStream(sample(3))
+	s := NewConcatStream(a, b)
+	if got := len(Collect(s, -1)); got != 5 {
+		t.Fatalf("concat yielded %d", got)
+	}
+	empty := NewConcatStream()
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty concat yielded")
+	}
+}
+
+func TestQuickFilterNeverYieldsDropped(t *testing.T) {
+	if err := quick.Check(func(pcs []uint8) bool {
+		in := make([]Access, len(pcs))
+		for i, p := range pcs {
+			in[i] = Access{PC: uint64(p)}
+		}
+		s := NewFilterStream(NewSliceStream(in), func(a Access) bool { return a.PC%2 == 0 })
+		for {
+			a, ok := s.Next()
+			if !ok {
+				return true
+			}
+			if a.PC%2 != 0 {
+				return false
+			}
+		}
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitStreamZero(t *testing.T) {
+	s := NewLimitStream(NewSliceStream(sample(3)), 0)
+	if _, ok := s.Next(); ok {
+		t.Fatal("zero-limit stream yielded")
+	}
+}
+
+func TestFilterStreamGapSaturation(t *testing.T) {
+	// Dropping billions of accesses must saturate, not wrap, the gap.
+	in := make([]Access, 0, 3)
+	in = append(in, Access{PC: 2, Gap: 1<<31 - 1})
+	in = append(in, Access{PC: 2, Gap: 1<<31 - 1})
+	in = append(in, Access{PC: 1, Gap: 5})
+	s := NewFilterStream(NewSliceStream(in), func(a Access) bool { return a.PC == 1 })
+	a, ok := s.Next()
+	if !ok {
+		t.Fatal("kept access missing")
+	}
+	if a.Gap != 1<<31 {
+		t.Fatalf("gap = %d, want saturated 1<<31", a.Gap)
+	}
+}

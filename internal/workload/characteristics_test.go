@@ -1,0 +1,110 @@
+package workload_test
+
+import (
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/policy"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+// measure runs one benchmark alone on the default 1-core machine under
+// LRU and returns its LLC MPKI and LLC hit ratio.
+func measure(t *testing.T, name string) (mpki, hit float64) {
+	t.Helper()
+	cfg := cpu.DefaultConfig(1)
+	cfg.InstrBudget = 600_000
+	b := workload.MustByName(name)
+	sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{b.Stream(1)})
+	r := sys.Run()[0]
+	if r.LLCAccesses > 0 {
+		hit = float64(r.LLCHits) / float64(r.LLCAccesses)
+	}
+	return r.LLCMPKI(), hit
+}
+
+// TestBehaviouralClasses locks in the intended cache behaviour of each
+// model class under baseline LRU — the property the whole evaluation's
+// workload composition rests on. Ranges are generous (they assert class
+// membership, not exact numbers).
+func TestBehaviouralClasses(t *testing.T) {
+	cases := []struct {
+		name          string
+		minMPKI       float64 // 0 = no lower bound
+		maxMPKI       float64 // 0 = no upper bound
+		maxHit        float64 // -1 = no bound
+		minHit        float64
+		wantClass     workload.Class
+		classComments string
+	}{
+		{"swim-like", 100, 0, 0.5, 0, workload.ClassStreaming, "streams must miss heavily"},
+		{"milc-like", 100, 0, 0.5, 0, workload.ClassStreaming, ""},
+		{"libquantum-like", 100, 0, 0.7, 0, workload.ClassThrashing, "cyclic overflow"},
+		{"mcf-like", 100, 0, 0.3, 0, workload.ClassThrashing, "pointer chase"},
+		{"twolf-like", 0, 10, -1, 0.9, workload.ClassFriendly, "LLC-resident"},
+		{"vpr-like", 0, 10, -1, 0.8, workload.ClassFriendly, ""},
+		{"hmmer-like", 0, 2, -1, 0, workload.ClassFriendly, "L1-resident, compute-bound"},
+		{"art-like", 100, 0, 0.3, 0, workload.ClassSensitive, "thrashes under LRU alone"},
+		{"ammp-like", 100, 0, 0.3, 0, workload.ClassSensitive, ""},
+		{"equake-like", 100, 0, 0.3, 0, workload.ClassSensitive, ""},
+		{"sphinx-like", 50, 0, -1, 0.3, workload.ClassSensitive, "partial protection by recency"},
+		{"facerec-like", 0, 0, -1, 0.4, workload.ClassSensitive, "LLC-resident alone; dies in mixes"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			b := workload.MustByName(c.name)
+			if b.Class != c.wantClass {
+				t.Fatalf("class = %s, want %s", b.Class, c.wantClass)
+			}
+			mpki, hit := measure(t, c.name)
+			if c.minMPKI > 0 && mpki < c.minMPKI {
+				t.Errorf("MPKI %.1f < %.1f (%s)", mpki, c.minMPKI, c.classComments)
+			}
+			if c.maxMPKI > 0 && mpki > c.maxMPKI {
+				t.Errorf("MPKI %.1f > %.1f (%s)", mpki, c.maxMPKI, c.classComments)
+			}
+			if c.maxHit >= 0 && hit > c.maxHit {
+				t.Errorf("hit ratio %.2f > %.2f (%s)", hit, c.maxHit, c.classComments)
+			}
+			if c.minHit > 0 && hit < c.minHit {
+				t.Errorf("hit ratio %.2f < %.2f (%s)", hit, c.minHit, c.classComments)
+			}
+		})
+	}
+}
+
+// TestSensitiveModelsGainUnderNUcache is the workload-level contract for
+// the evaluation: every LLC-sensitive model must benefit from NUcache
+// alone (or at worst tie), and streaming models must never lose.
+func TestSensitiveModelsGainUnderNUcache(t *testing.T) {
+	run := func(name string, nu bool) float64 {
+		cfg := cpu.DefaultConfig(1)
+		cfg.InstrBudget = 1_200_000
+		pol := cache.Policy(policy.NewLRU())
+		if nu {
+			pol = core.MustNew(core.DefaultConfig(cfg.LLC.Ways))
+		}
+		b := workload.MustByName(name)
+		sys := cpu.NewSystem(cfg, pol, []trace.Stream{b.Stream(1)})
+		return sys.Run()[0].IPC()
+	}
+	for _, b := range workload.All() {
+		switch b.Class {
+		case workload.ClassSensitive:
+			base, nu := run(b.Name, false), run(b.Name, true)
+			if nu < 0.98*base {
+				t.Errorf("%s: NUcache IPC %.4f < LRU %.4f", b.Name, nu, base)
+			}
+		case workload.ClassStreaming, workload.ClassThrashing:
+			base, nu := run(b.Name, false), run(b.Name, true)
+			if nu < 0.97*base {
+				t.Errorf("%s: NUcache IPC %.4f lost to LRU %.4f on non-reusable model",
+					b.Name, nu, base)
+			}
+		}
+	}
+}

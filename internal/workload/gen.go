@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"nucache/internal/stats"
+	"nucache/internal/trace"
+)
+
+// lineBytes is the access granularity; all generators emit line-aligned
+// addresses (sub-line offsets would only add L1 hits).
+const lineBytes = 64
+
+// site is a static access site: one load/store instruction in the
+// modelled program. gap is the non-memory instruction count preceding
+// each dynamic access from this site.
+type site struct {
+	pc  uint64
+	gap uint32
+}
+
+// pcBase is where modelled code lives; sites are 4 bytes apart.
+func siteAt(n int, gap uint32) site {
+	return site{pc: 0x400000 + uint64(n)*4, gap: gap}
+}
+
+// region is a contiguous memory area of a program model.
+type region struct {
+	base  uint64
+	lines uint64
+}
+
+// addr returns the address of line i (mod the region size).
+func (r region) addr(i uint64) uint64 {
+	return r.base + (i%r.lines)*lineBytes
+}
+
+// Bytes returns the region size in bytes.
+func (r region) Bytes() uint64 { return r.lines * lineBytes }
+
+// regionAt places a region of size bytes at slot n (64 MB apart, so
+// regions never overlap within a program).
+func regionAt(n int, bytes uint64) region {
+	return region{base: uint64(n+1) << 26, lines: (bytes + lineBytes - 1) / lineBytes}
+}
+
+// emitter accumulates one round (outer-loop iteration) of accesses.
+type emitter struct {
+	out []trace.Access
+	rng *stats.RNG
+}
+
+func (e *emitter) load(s site, addr uint64) {
+	e.out = append(e.out, trace.Access{PC: s.pc, Addr: addr, Kind: trace.Load, Gap: s.gap})
+}
+
+func (e *emitter) store(s site, addr uint64) {
+	e.out = append(e.out, trace.Access{PC: s.pc, Addr: addr, Kind: trace.Store, Gap: s.gap})
+}
+
+// scan emits a sequential pass of n lines of r starting at line start.
+func (e *emitter) scan(s site, r region, start, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.load(s, r.addr(start+i))
+	}
+}
+
+// scanStore is scan with stores.
+func (e *emitter) scanStore(s site, r region, start, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.store(s, r.addr(start+i))
+	}
+}
+
+// strided emits n accesses at the given line stride.
+func (e *emitter) strided(s site, r region, start, n, stride uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.load(s, r.addr(start+i*stride))
+	}
+}
+
+// roundStream adapts a per-round generator to trace.Stream. round must
+// append at least one access per call.
+type roundStream struct {
+	buf   []trace.Access
+	pos   int
+	round func(e *emitter)
+	rng   *stats.RNG
+}
+
+// newRoundStream builds a stream from a round generator.
+func newRoundStream(seed uint64, round func(e *emitter)) trace.Stream {
+	return &roundStream{round: round, rng: stats.NewRNG(seed)}
+}
+
+// Next implements trace.Stream.
+func (s *roundStream) Next() (trace.Access, bool) {
+	for s.pos >= len(s.buf) {
+		e := emitter{out: s.buf[:0], rng: s.rng}
+		s.round(&e)
+		if len(e.out) == 0 {
+			panic("workload: round generator produced no accesses")
+		}
+		s.buf = e.out
+		s.pos = 0
+	}
+	a := s.buf[s.pos]
+	s.pos++
+	return a, true
+}
+
+// permCycle builds a random single-cycle permutation of [0, n) — the
+// canonical pointer-chasing structure (Sattolo's algorithm).
+func permCycle(rng *stats.RNG, n int) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// perm as sequence; convert to successor mapping.
+	next := make([]uint32, n)
+	for i := 0; i < n-1; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	next[perm[n-1]] = perm[0]
+	return next
+}

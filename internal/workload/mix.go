@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"nucache/internal/trace"
+)
+
+// Mix is a named multiprogrammed workload: one benchmark per core. Mix
+// composition follows the evaluation's recipe — combining LLC-sensitive
+// programs (which can profit from retention/partitioning) with streaming,
+// thrashing and cache-friendly neighbors in varying proportions.
+type Mix struct {
+	// Name identifies the mix in reports ("mix2-03").
+	Name string
+	// Members are the benchmark names, one per core, in core order.
+	Members []string
+}
+
+// Benchmarks resolves the member names (panics on unknown names, which is
+// an experiment-definition error).
+func (m Mix) Benchmarks() []Benchmark {
+	out := make([]Benchmark, len(m.Members))
+	for i, name := range m.Members {
+		out[i] = MustByName(name)
+	}
+	return out
+}
+
+// Streams builds one fresh access stream per core. Each position gets a
+// distinct derived seed, so duplicate benchmarks in one mix diverge.
+func (m Mix) Streams(seed uint64) []trace.Stream {
+	bs := m.Benchmarks()
+	out := make([]trace.Stream, len(bs))
+	for i, b := range bs {
+		out[i] = b.Stream(seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return out
+}
+
+// Cores returns the mix width.
+func (m Mix) Cores() int { return len(m.Members) }
+
+// String renders "name(member+member+...)".
+func (m Mix) String() string {
+	return fmt.Sprintf("%s(%s)", m.Name, strings.Join(m.Members, "+"))
+}
+
+// mixNames builds Mix values with sequential names.
+func mixSet(prefix string, members [][]string) []Mix {
+	out := make([]Mix, len(members))
+	for i, ms := range members {
+		out[i] = Mix{Name: fmt.Sprintf("%s-%02d", prefix, i+1), Members: ms}
+	}
+	return out
+}
+
+// Mixes2 returns the ten dual-core mixes.
+func Mixes2() []Mix {
+	return mixSet("mix2", [][]string{
+		{"art-like", "swim-like"},
+		{"ammp-like", "libquantum-like"},
+		{"sphinx-like", "mcf-like"},
+		{"omnetpp-like", "milc-like"},
+		{"art-like", "ammp-like"},
+		{"sphinx-like", "twolf-like"},
+		{"facerec-like", "mcf-like"},
+		{"bzip2-like", "libquantum-like"},
+		{"gcc-like", "mcf-like"},
+		{"equake-like", "milc-like"},
+	})
+}
+
+// Mixes4 returns the ten quad-core mixes.
+func Mixes4() []Mix {
+	return mixSet("mix4", [][]string{
+		{"art-like", "ammp-like", "swim-like", "milc-like"},
+		{"facerec-like", "equake-like", "libquantum-like", "mcf-like"},
+		{"sphinx-like", "facerec-like", "ammp-like", "swim-like"},
+		{"art-like", "equake-like", "sphinx-like", "milc-like"},
+		{"omnetpp-like", "bzip2-like", "mcf-like", "hmmer-like"},
+		{"facerec-like", "ammp-like", "equake-like", "art-like"},
+		{"sphinx-like", "omnetpp-like", "gcc-like", "milc-like"},
+		{"soplex-like", "twolf-like", "swim-like", "libquantum-like"},
+		{"art-like", "facerec-like", "mcf-like", "vpr-like"},
+		{"equake-like", "sphinx-like", "bzip2-like", "swim-like"},
+	})
+}
+
+// Mixes8 returns the eight eight-core mixes.
+func Mixes8() []Mix {
+	return mixSet("mix8", [][]string{
+		{"art-like", "ammp-like", "sphinx-like", "facerec-like",
+			"equake-like", "omnetpp-like", "swim-like", "milc-like"},
+		{"art-like", "facerec-like", "equake-like", "ammp-like",
+			"sphinx-like", "swim-like", "libquantum-like", "mcf-like"},
+		{"facerec-like", "equake-like", "ammp-like", "sphinx-like",
+			"twolf-like", "vpr-like", "swim-like", "milc-like"},
+		{"art-like", "art-like", "ammp-like", "sphinx-like",
+			"swim-like", "swim-like", "libquantum-like", "milc-like"},
+		{"omnetpp-like", "omnetpp-like", "soplex-like", "bzip2-like",
+			"mcf-like", "mcf-like", "twolf-like", "hmmer-like"},
+		{"art-like", "ammp-like", "sphinx-like", "soplex-like",
+			"gcc-like", "omnetpp-like", "bzip2-like", "twolf-like"},
+		{"facerec-like", "equake-like", "facerec-like", "equake-like",
+			"mcf-like", "swim-like", "libquantum-like", "milc-like"},
+		{"art-like", "sphinx-like", "omnetpp-like", "ammp-like",
+			"milc-like", "mcf-like", "swim-like", "libquantum-like"},
+	})
+}
+
+// MixesFor returns the standard mix list for a core count (2, 4, or 8).
+func MixesFor(cores int) []Mix {
+	switch cores {
+	case 2:
+		return Mixes2()
+	case 4:
+		return Mixes4()
+	case 8:
+		return Mixes8()
+	default:
+		panic(fmt.Sprintf("workload: no standard mixes for %d cores", cores))
+	}
+}
