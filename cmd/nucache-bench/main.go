@@ -27,6 +27,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload generator seed")
 		mixLimit = flag.Int("mixlimit", 0, "truncate mix lists (0 = all)")
 		csvDir   = flag.String("csv", "", "also save each table as CSV into this directory")
+		jsonDir  = flag.String("jsondir", "", "also save each table as JSON into this directory")
 	)
 	flag.Parse()
 
@@ -80,6 +81,13 @@ func main() {
 		if *csvDir != "" {
 			if path, err := tbl.SaveCSV(*csvDir); err != nil {
 				fmt.Fprintf(os.Stderr, "nucache-bench: csv: %v\n", err)
+			} else {
+				fmt.Printf("(saved %s)\n\n", path)
+			}
+		}
+		if *jsonDir != "" {
+			if path, err := tbl.SaveJSON(*jsonDir); err != nil {
+				fmt.Fprintf(os.Stderr, "nucache-bench: json: %v\n", err)
 			} else {
 				fmt.Printf("(saved %s)\n\n", path)
 			}

@@ -1,0 +1,77 @@
+// Command nucache-serve runs the simulator as an HTTP/JSON service: a
+// bounded worker pool executes simulation jobs across all host cores,
+// and a content-addressed result cache (in-memory LRU, optionally
+// persisted to disk) serves repeated requests without re-simulating.
+//
+// Endpoints:
+//
+//	POST /v1/sim      one simulation, JSON in/out
+//	POST /v1/sweep    mixes×policies fan-out, NDJSON progress stream
+//	GET  /v1/catalog  benchmarks, standard mixes, policies
+//	GET  /healthz     liveness
+//	GET  /debug/vars  runtime counters (expvar)
+//
+// Examples:
+//
+//	nucache-serve -addr :8080
+//	curl -s localhost:8080/v1/sim -d '{"mix":"mix4-01","policy":"NUcache"}'
+//	curl -sN localhost:8080/v1/sweep -d '{"cores":4,"budget":1000000}'
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nucache/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = NumCPU)")
+		cacheCap = flag.Int("cache", 4096, "in-memory result-cache entries")
+		cacheDir = flag.String("cachedir", "", "persist results as JSON under this directory (empty = memory only)")
+		timeout  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	sched := sim.NewScheduler(*workers, sim.NewCache(*cacheCap, *cacheDir))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sim.NewServer(sched).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nucache-serve: listening on %s (%d workers, cache %d entries)\n",
+		*addr, sched.Workers(), *cacheCap)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "nucache-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "nucache-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "nucache-serve: shutdown:", err)
+		os.Exit(1)
+	}
+}

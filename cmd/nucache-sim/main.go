@@ -1,27 +1,30 @@
 // Command nucache-sim runs one benchmark or one multiprogrammed mix
 // through the simulated cache hierarchy under a chosen LLC policy and
-// prints per-core performance plus policy internals.
+// prints per-core performance plus policy internals, as text tables or
+// JSON (-json).
 //
 // Examples:
 //
 //	nucache-sim -bench art-like -policy NUcache
 //	nucache-sim -mix mix4-01 -policy UCP -budget 2000000
 //	nucache-sim -members art-like,swim-like -policy NUcache -deliways 8
+//	nucache-sim -mix mix4-01 -json | jq .llc.hit_rate
 //	nucache-sim -list
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"nucache/internal/cache"
-	"nucache/internal/core"
 	"nucache/internal/cpu"
 	"nucache/internal/memory"
 	"nucache/internal/metrics"
-	"nucache/internal/policy"
+	"nucache/internal/sim"
 	"nucache/internal/trace"
 	"nucache/internal/workload"
 )
@@ -34,12 +37,13 @@ func main() {
 		polName   = flag.String("policy", "NUcache", "LLC policy: LRU|NUcache|UCP|PIPP|TADIP|DIP|DRRIP|SRRIP|SHiP|SLRU|Hawkeye|NRU|Random")
 		budget    = flag.Uint64("budget", 5_000_000, "instruction budget per core")
 		seed      = flag.Uint64("seed", 1, "workload seed")
-		deliWays  = flag.Int("deliways", 6, "NUcache DeliWays (of the LLC's 16 ways)")
+		deliWays  = flag.Int("deliways", 6, "NUcache DeliWays (of the LLC's 16 ways; 0 disables retention)")
 		list      = flag.Bool("list", false, "list benchmarks and mixes, then exit")
 		l2        = flag.Bool("l2", false, "add a private 256KB 8-way L2 per core")
 		dram      = flag.Bool("dram", false, "use the bank/row-buffer DRAM model instead of flat latency")
 		prefetch  = flag.Int("prefetch", 0, "next-line prefetch degree (0 = off)")
 		warmup    = flag.Uint64("warmup", 0, "instructions excluded from statistics per core")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text tables")
 		record    = flag.String("record", "", "record each core's access stream to <prefix>.coreN.trc and exit")
 		recordN   = flag.Int("recordn", 1_000_000, "accesses per core to record")
 		replay    = flag.String("replay", "", "comma-separated trace files to replay (one per core) instead of generators")
@@ -51,163 +55,128 @@ func main() {
 		return
 	}
 
-	var (
-		mix     workload.Mix
-		streams []trace.Stream
-		err     error
-	)
-	if *replay != "" {
-		mix, streams, err = openTraces(strings.Split(*replay, ","))
-	} else {
-		mix, err = resolveMix(*benchName, *mixName, *members)
-		if err == nil {
-			streams = mix.Streams(*seed)
-		}
+	// The request's DeliWays encoding reserves 0 for "default"; the flag
+	// uses 0 for "no retention".
+	dw := *deliWays
+	if dw == 0 {
+		dw = -1
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nucache-sim:", err)
-		os.Exit(2)
+
+	if *replay != "" {
+		res, err := runReplay(strings.Split(*replay, ","), *polName, *budget, *seed, dw, *l2, *dram, *prefetch, *warmup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+			os.Exit(1)
+		}
+		emit(res, *jsonOut)
+		return
+	}
+
+	req := sim.Request{
+		Bench: *benchName, Mix: *mixName,
+		Policy: *polName, Budget: *budget, Seed: *seed, DeliWays: dw,
+		L2: *l2, DRAM: *dram, Prefetch: *prefetch, Warmup: *warmup,
+	}
+	if *members != "" {
+		req.Members = strings.Split(*members, ",")
 	}
 
 	if *record != "" {
-		if err := recordTraces(*record, mix, streams, *recordN); err != nil {
+		mix, err := req.ResolveMix()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+			os.Exit(2)
+		}
+		if err := recordTraces(*record, mix, mix.Streams(*seed), *recordN); err != nil {
 			fmt.Fprintln(os.Stderr, "nucache-sim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	cfg := cpu.DefaultConfig(mix.Cores())
-	cfg.InstrBudget = *budget
-	cfg.PrefetchDegree = *prefetch
-	cfg.WarmupInstr = *warmup
-	if *l2 {
-		cfg.L2 = cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64}
-		cfg.L2Latency = 6
-	}
-	if *dram {
-		d := memory.DefaultConfig()
-		cfg.DRAM = &d
-	}
-	pol, err := buildPolicy(*polName, mix.Cores(), cfg.LLC.Ways, *deliWays)
+	res, err := sim.Execute(context.Background(), req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nucache-sim:", err)
 		os.Exit(2)
 	}
+	emit(res, *jsonOut)
+}
 
+// runReplay drives trace files through a machine built from the same
+// flags; generator-backed runs go through sim.Execute instead.
+func runReplay(paths []string, polName string, budget, seed uint64, deliWays int, l2, dram bool, prefetch int, warmup uint64) (*sim.Result, error) {
+	mix, streams, err := openTraces(paths)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cpu.DefaultConfig(mix.Cores())
+	cfg.InstrBudget = budget
+	cfg.PrefetchDegree = prefetch
+	cfg.WarmupInstr = warmup
+	if l2 {
+		cfg.L2 = cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64}
+		cfg.L2Latency = 6
+	}
+	if dram {
+		d := memory.DefaultConfig()
+		cfg.DRAM = &d
+	}
+	if deliWays < 0 {
+		deliWays = 0
+	}
+	pol, err := sim.BuildPolicy(polName, mix.Cores(), cfg.LLC.Ways, deliWays)
+	if err != nil {
+		return nil, err
+	}
 	sys := cpu.NewSystem(cfg, pol, streams)
 	results := sys.Run()
+	return sim.Collect(mix, pol, cfg, budget, seed, results, sys), nil
+}
 
+// emit renders a result as JSON or as the classic text report.
+func emit(res *sim.Result, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "nucache-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	mix := workload.Mix{Name: res.Mix, Members: res.Members}
 	t := metrics.NewTable(
 		fmt.Sprintf("%s under %s (%d cores, %dMB LLC, %dM instr/core)",
-			mix.String(), pol.Name(), mix.Cores(), cfg.LLC.SizeBytes>>20, *budget/1_000_000),
+			mix.String(), res.Policy, res.Cores, res.LLCBytes>>20, res.Budget/1_000_000),
 		"core", "benchmark", "IPC", "L1 miss%", "LLC MPKI", "LLC hits", "LLC misses")
-	for i, r := range results {
+	for _, c := range res.PerCore {
 		t.AddRow(
-			fmt.Sprintf("%d", i), mix.Members[i],
-			metrics.F3(r.IPC()),
-			metrics.F2(100*r.L1MissRate()),
-			metrics.F2(r.LLCMPKI()),
-			fmt.Sprintf("%d", r.LLCHits),
-			fmt.Sprintf("%d", r.LLCMisses),
+			fmt.Sprintf("%d", c.Core), c.Benchmark,
+			metrics.F3(c.IPC),
+			metrics.F2(100*c.L1MissRate),
+			metrics.F2(c.LLCMPKI),
+			fmt.Sprintf("%d", c.LLCHits),
+			fmt.Sprintf("%d", c.LLCMisses),
 		)
 	}
 	t.Render(os.Stdout)
 
-	llc := sys.LLC().Stats
 	fmt.Printf("\nLLC: %d accesses, %.1f%% hit, %d evictions, %d writebacks\n",
-		llc.Accesses, 100*llc.HitRate(), llc.Evictions, llc.Writebacks)
-	if d := sys.DRAM(); d != nil {
-		fmt.Printf("DRAM: %d accesses, %.1f%% row-buffer hits\n", d.Accesses, 100*d.RowHitRate())
+		res.LLC.Accesses, 100*res.LLC.HitRate, res.LLC.Evictions, res.LLC.Writebacks)
+	if res.DRAM != nil {
+		fmt.Printf("DRAM: %d accesses, %.1f%% row-buffer hits\n", res.DRAM.Accesses, 100*res.DRAM.RowHitRate)
 	}
-	if sys.PrefetchIssued > 0 {
-		fmt.Printf("prefetches issued: %d\n", sys.PrefetchIssued)
+	if res.PrefetchIssued > 0 {
+		fmt.Printf("prefetches issued: %d\n", res.PrefetchIssued)
 	}
-
-	if nu, ok := pol.(*core.NUcache); ok {
+	if nu := res.NUcache; nu != nil {
 		fmt.Printf("NUcache: %d epochs, %d DeliWay hits, %d retained of %d demotions\n",
 			nu.Epochs, nu.DeliHits, nu.DeliInsertions, nu.Demotions)
-		rep := nu.LastReport
 		fmt.Printf("last selection: %d of %d candidates chosen, projected lifetime %d, benefit %d\n",
-			rep.Chosen, rep.Candidates, rep.Lifetime, rep.Benefit)
-		if pcs := nu.ChosenPCs(); len(pcs) > 0 {
-			parts := make([]string, len(pcs))
-			for i, pc := range pcs {
-				parts[i] = fmt.Sprintf("c%d:%#x", pc>>48, pc&(1<<48-1))
-			}
-			fmt.Println("chosen PCs:", strings.Join(parts, " "))
+			nu.LastChosen, nu.LastCandidates, nu.LastLifetime, nu.LastBenefit)
+		if len(nu.ChosenPCs) > 0 {
+			fmt.Println("chosen PCs:", strings.Join(nu.ChosenPCs, " "))
 		}
-	}
-}
-
-func resolveMix(bench, mixName, members string) (workload.Mix, error) {
-	n := 0
-	for _, s := range []string{bench, mixName, members} {
-		if s != "" {
-			n++
-		}
-	}
-	if n != 1 {
-		return workload.Mix{}, fmt.Errorf("specify exactly one of -bench, -mix, -members")
-	}
-	switch {
-	case bench != "":
-		if _, ok := workload.ByName(bench); !ok {
-			return workload.Mix{}, fmt.Errorf("unknown benchmark %q (try -list)", bench)
-		}
-		return workload.Mix{Name: "single", Members: []string{bench}}, nil
-	case members != "":
-		ms := strings.Split(members, ",")
-		for _, m := range ms {
-			if _, ok := workload.ByName(m); !ok {
-				return workload.Mix{}, fmt.Errorf("unknown benchmark %q (try -list)", m)
-			}
-		}
-		return workload.Mix{Name: "custom", Members: ms}, nil
-	default:
-		for _, cores := range []int{2, 4, 8} {
-			for _, m := range workload.MixesFor(cores) {
-				if m.Name == mixName {
-					return m, nil
-				}
-			}
-		}
-		return workload.Mix{}, fmt.Errorf("unknown mix %q (try -list)", mixName)
-	}
-}
-
-func buildPolicy(name string, cores, ways, deliWays int) (cache.Policy, error) {
-	switch strings.ToUpper(name) {
-	case "LRU":
-		return policy.NewLRU(), nil
-	case "NUCACHE":
-		cfg := core.DefaultConfig(ways)
-		cfg.DeliWays = deliWays
-		return core.New(cfg)
-	case "UCP":
-		return policy.NewUCP(cores, ways), nil
-	case "PIPP":
-		return policy.NewPIPP(cores, ways, 12345), nil
-	case "TADIP":
-		return policy.NewTADIP(cores, 12345), nil
-	case "DIP":
-		return policy.NewDIP(12345), nil
-	case "DRRIP":
-		return policy.NewDRRIP(12345), nil
-	case "SRRIP":
-		return policy.NewSRRIP(), nil
-	case "NRU":
-		return policy.NewNRU(), nil
-	case "SHIP":
-		return policy.NewSHiP(), nil
-	case "HAWKEYE":
-		return policy.NewHawkeye(ways), nil
-	case "SLRU":
-		return policy.NewSLRU(ways / 2), nil
-	case "RANDOM":
-		return policy.NewRandom(12345), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }
 

@@ -3,10 +3,16 @@
 // sampling, each as geometric-mean weighted-speedup gain over LRU on the
 // standard 4-core mixes.
 //
+// Sweeps fan out across all host cores through the internal/sim
+// scheduler (see -parallel); repeated (mix, policy) evaluations — e.g.
+// the LRU baseline shared by every sweep — are served from the
+// content-addressed result cache.
+//
 // Examples:
 //
 //	nucache-sweep -sweep deliways
 //	nucache-sweep -sweep all -budget 1000000 -mixlimit 4
+//	nucache-sweep -sweep all -parallel 2
 package main
 
 import (
@@ -25,10 +31,11 @@ func main() {
 		budget   = flag.Uint64("budget", 2_000_000, "instruction budget per core")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		mixLimit = flag.Int("mixlimit", 0, "truncate the 4-core mix list (0 = all)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU, 1 = sequential)")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Budget: *budget, Seed: *seed, MixLimit: *mixLimit}
+	o := experiments.Options{Budget: *budget, Seed: *seed, MixLimit: *mixLimit, Parallel: *parallel}
 	sweeps := map[string]func(experiments.Options) *experiments.SweepResult{
 		"deliways":  experiments.DeliWaysSweep,
 		"ablations": experiments.PCCountSweep,

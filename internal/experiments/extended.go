@@ -54,13 +54,14 @@ func ExtendedComparison(cores int, o Options) *ExtendedResult {
 	}
 	mixes := o.mixes(cores)
 	base := specs[0]
+	grid := o.mixMetricsGrid(mixes, specs)
 	baseWS := make([]float64, len(mixes))
-	for i, m := range mixes {
-		baseWS[i] = o.mixMetrics(m, base).WS
+	for i := range mixes {
+		baseWS[i] = grid[i][0].WS
 	}
-	for _, s := range specs {
+	for j, s := range specs {
 		var ratios []float64
-		for i, m := range mixes {
+		for i := range mixes {
 			if baseWS[i] <= 0 {
 				continue
 			}
@@ -68,7 +69,7 @@ func ExtendedComparison(cores int, o Options) *ExtendedResult {
 				ratios = append(ratios, 1)
 				continue
 			}
-			ratios = append(ratios, o.mixMetrics(m, s).WS/baseWS[i])
+			ratios = append(ratios, grid[i][j].WS/baseWS[i])
 		}
 		res.GeomeanNorm[s.Name] = stats.GeoMean(ratios)
 	}

@@ -25,7 +25,10 @@ type MulticoreResult struct {
 }
 
 // MulticoreComparison runs experiment E6 (cores=2), E7 (cores=4) or
-// E8 (cores=8): every standard mix under every standard policy.
+// E8 (cores=8): every standard mix under every standard policy. The
+// (mix, policy) grid fans out across the scheduler's worker pool (see
+// Options.Parallel); the assembled table is identical to a sequential
+// run.
 func MulticoreComparison(cores int, o Options) *MulticoreResult {
 	o = o.withDefaults()
 	specs := StandardPolicies()
@@ -34,10 +37,11 @@ func MulticoreComparison(cores int, o Options) *MulticoreResult {
 		res.Policies = append(res.Policies, s.Name)
 	}
 	res.Mixes = o.mixes(cores)
-	for _, m := range res.Mixes {
+	grid := o.mixMetricsGrid(res.Mixes, specs)
+	for i := range res.Mixes {
 		row := map[string]MixMetrics{}
-		for _, s := range specs {
-			row[s.Name] = o.mixMetrics(m, s)
+		for j, s := range specs {
+			row[s.Name] = grid[i][j]
 		}
 		res.WS = append(res.WS, row)
 	}
@@ -120,9 +124,10 @@ func FairnessComparison(cores int, o Options) *FairnessResult {
 	for _, s := range specs {
 		res.Policies = append(res.Policies, s.Name)
 	}
-	for _, m := range mixes {
-		for _, s := range specs {
-			acc[s.Name] = append(acc[s.Name], o.mixMetrics(m, s))
+	grid := o.mixMetricsGrid(mixes, specs)
+	for i := range mixes {
+		for j, s := range specs {
+			acc[s.Name] = append(acc[s.Name], grid[i][j])
 		}
 	}
 	for _, p := range res.Policies {

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGridMatchesSequential is the parallelization contract: the
+// scheduler-backed grid must reproduce, value for value, what direct
+// sequential mixMetrics calls compute — and therefore byte-identical
+// tables. A distinct budget keeps these keys out of other tests' cache
+// entries.
+func TestGridMatchesSequential(t *testing.T) {
+	o := Options{Budget: 170_000, Seed: 1, MixLimit: 2, Parallel: 4}.withDefaults()
+	specs := StandardPolicies()
+	mixes := o.mixes(2)
+
+	grid := o.mixMetricsGrid(mixes, specs)
+
+	for i, m := range mixes {
+		for j, s := range specs {
+			want := o.mixMetrics(m, s)
+			if !reflect.DeepEqual(grid[i][j], want) {
+				t.Fatalf("%s under %s: grid %+v != sequential %+v",
+					m.Name, s.Name, grid[i][j], want)
+			}
+		}
+	}
+}
+
+// TestMulticoreTableParallelInvariance renders the 2-core mix table at
+// different worker counts and requires identical bytes.
+func TestMulticoreTableParallelInvariance(t *testing.T) {
+	seq := Options{Budget: 160_000, Seed: 1, MixLimit: 2, Parallel: 1}
+	par := Options{Budget: 160_000, Seed: 1, MixLimit: 2, Parallel: 8}
+	a := MulticoreComparison(2, seq).Table().String()
+	b := MulticoreComparison(2, par).Table().String()
+	if a != b {
+		t.Fatalf("tables diverge between worker counts:\n--- sequential\n%s\n--- parallel\n%s", a, b)
+	}
+}
+
+// TestSweepUsesSharedBaseline checks that two sweeps at one configuration
+// agree on their baseline-relative scale (the LRU row is cached and
+// shared), and that cache reuse does not change results.
+func TestSweepUsesSharedBaseline(t *testing.T) {
+	o := Options{Budget: 140_000, Seed: 1, MixLimit: 1, Parallel: 2}
+	first := DeliWaysSweep(o)
+	again := DeliWaysSweep(o)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("repeated sweep differs: %+v vs %+v", first, again)
+	}
+}

@@ -5,7 +5,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"sync"
 
 	"nucache/internal/cache"
 	"nucache/internal/core"
@@ -13,6 +16,7 @@ import (
 	"nucache/internal/memory"
 	"nucache/internal/metrics"
 	"nucache/internal/policy"
+	"nucache/internal/sim"
 	"nucache/internal/trace"
 	"nucache/internal/workload"
 )
@@ -36,6 +40,12 @@ type Options struct {
 	// UseDRAM switches the machine to the bank/row-buffer memory model
 	// (used by the E18 memory-model study).
 	UseDRAM bool
+	// Parallel is the worker count for scheduler-backed experiments
+	// (0 = runtime.NumCPU(), 1 = sequential). Mix tables are
+	// embarrassingly parallel across (mix, policy) pairs; results are
+	// byte-identical regardless of this setting because each pair is an
+	// independent deterministic simulation collected in submission order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -136,12 +146,20 @@ func (o Options) runMix(m workload.Mix, spec PolicySpec) ([]cpu.CoreResult, *cpu
 	cfg := o.machine(m.Cores())
 	pol := spec.New(cfg.Cores, cfg.LLC.Ways)
 	sys := cpu.NewSystem(cfg, pol, m.Streams(o.Seed))
-	return sys.Run(), sys
+	res := sys.Run()
+	var instr uint64
+	for _, r := range res {
+		instr += r.Instructions
+	}
+	sim.InstructionsRetired.Add(int64(instr))
+	return res, sys
 }
 
 // runAlone simulates one benchmark alone on the same machine geometry
 // (the denominator of weighted speedup). Results are memoized per
-// (benchmark, LLC size, budget, seed).
+// (benchmark, LLC size, budget, seed). Entries carry a sync.Once so
+// concurrent grid workers needing the same alone run compute it exactly
+// once without holding the map lock across a simulation.
 type aloneKey struct {
 	bench    string
 	llcSize  int
@@ -151,7 +169,15 @@ type aloneKey struct {
 	dram     bool
 }
 
-var aloneCache = map[aloneKey]float64{}
+type aloneEntry struct {
+	once sync.Once
+	ipc  float64
+}
+
+var (
+	aloneMu    sync.Mutex
+	aloneCache = map[aloneKey]*aloneEntry{}
+)
 
 func (o Options) aloneIPC(bench string, cores int) float64 {
 	cfg := o.machine(cores)
@@ -161,14 +187,21 @@ func (o Options) aloneIPC(bench string, cores int) float64 {
 		budget: o.Budget, seed: o.Seed, prefetch: o.PrefetchDegree,
 		dram: o.UseDRAM,
 	}
-	if ipc, ok := aloneCache[key]; ok {
-		return ipc
+	aloneMu.Lock()
+	e, ok := aloneCache[key]
+	if !ok {
+		e = &aloneEntry{}
+		aloneCache[key] = e
 	}
-	b := workload.MustByName(bench)
-	sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{b.Stream(o.Seed)})
-	ipc := sys.Run()[0].IPC()
-	aloneCache[key] = ipc
-	return ipc
+	aloneMu.Unlock()
+	e.once.Do(func() {
+		b := workload.MustByName(bench)
+		sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{b.Stream(o.Seed)})
+		r := sys.Run()[0]
+		sim.InstructionsRetired.Add(int64(r.Instructions))
+		e.ipc = r.IPC()
+	})
+	return e.ipc
 }
 
 // MixMetrics summarizes one (mix, policy) run.
@@ -211,6 +244,70 @@ func (o Options) mixMetrics(m workload.Mix, spec PolicySpec) MixMetrics {
 		mm.MPKI = 1000 * float64(misses) / float64(instr)
 	}
 	return mm
+}
+
+// gridCache memoizes MixMetrics across experiments in this process,
+// keyed by everything that determines them. Repeated sweeps (every
+// sensitivity study re-runs the LRU baseline on the same mixes) hit
+// instead of re-simulating.
+var gridCache = sim.NewCache(8192, "")
+
+// mixKey is the content address of one (mix, policy) evaluation. Policy
+// names are part of the address: every PolicySpec in this package encodes
+// its distinguishing parameters in its name (e.g. "D=4", "epoch=50k"),
+// which keeps closure-built specs hashable.
+func (o Options) mixKey(m workload.Mix, spec PolicySpec) string {
+	return strings.Join([]string{
+		"mixmetrics/v1",
+		"policy=" + spec.Name,
+		"mix=" + m.Name,
+		"members=" + strings.Join(m.Members, "+"),
+		fmt.Sprintf("budget=%d", o.Budget),
+		fmt.Sprintf("seed=%d", o.Seed),
+		fmt.Sprintf("prefetch=%d", o.PrefetchDegree),
+		fmt.Sprintf("dram=%v", o.UseDRAM),
+	}, "|")
+}
+
+// mixMetricsGrid evaluates every (mix, spec) pair through the shared
+// scheduler: grid[i][j] pairs mixes[i] with specs[j]. Pairs run
+// concurrently on up to Options.Parallel workers but are collected in
+// submission order, and each pair is an independent deterministic
+// simulation, so the grid is identical to nested sequential mixMetrics
+// calls. Simulation panics surface as panics, as they would sequentially.
+func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]MixMetrics {
+	sched := sim.NewScheduler(o.Parallel, gridCache)
+	jobs := make([]sim.Job, 0, len(mixes)*len(specs))
+	for _, m := range mixes {
+		for _, s := range specs {
+			m, s := m, s
+			jobs = append(jobs, sim.Job{
+				Key:   o.mixKey(m, s),
+				Label: fmt.Sprintf("%s under %s", m.Name, s.Name),
+				New:   func() any { return new(MixMetrics) },
+				Run: func(context.Context) (any, error) {
+					mm := o.mixMetrics(m, s)
+					return &mm, nil
+				},
+			})
+		}
+	}
+	outs := sched.RunAll(context.Background(), jobs)
+	grid := make([][]MixMetrics, len(mixes))
+	k := 0
+	for i := range mixes {
+		grid[i] = make([]MixMetrics, len(specs))
+		for j := range specs {
+			out := outs[k]
+			k++
+			if out.Err != nil {
+				panic(fmt.Sprintf("experiments: %s under %s: %v",
+					mixes[i].Name, specs[j].Name, out.Err))
+			}
+			grid[i][j] = *out.Value.(*MixMetrics)
+		}
+	}
+	return grid
 }
 
 // fmtPC renders a core-tagged PC the way the harness prints them.

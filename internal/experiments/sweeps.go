@@ -24,21 +24,24 @@ type SweepResult struct {
 }
 
 // sweep evaluates NUcache variants against the shared LRU baseline on the
-// 4-core mixes.
+// 4-core mixes. Baseline and variants fan out through the scheduler as
+// one grid; the baseline's content-addressed results are shared across
+// every sweep in the process.
 func (o Options) sweep(id int, title string, variants []PolicySpec) *SweepResult {
 	o = o.withDefaults()
 	res := &SweepResult{ID: id, Title: title}
 	mixes := o.mixes(4)
-	base := Baseline()
+	specs := append([]PolicySpec{Baseline()}, variants...)
+	grid := o.mixMetricsGrid(mixes, specs)
 	baseWS := make([]float64, len(mixes))
-	for i, m := range mixes {
-		baseWS[i] = o.mixMetrics(m, base).WS
+	for i := range mixes {
+		baseWS[i] = grid[i][0].WS
 	}
-	for _, v := range variants {
+	for j, v := range variants {
 		ratios := make([]float64, 0, len(mixes))
-		for i, m := range mixes {
+		for i := range mixes {
 			if baseWS[i] > 0 {
-				ratios = append(ratios, o.mixMetrics(m, v).WS/baseWS[i])
+				ratios = append(ratios, grid[i][j+1].WS/baseWS[i])
 			}
 		}
 		res.Points = append(res.Points, SweepPoint{Label: v.Name, Geomean: stats.GeoMean(ratios)})
@@ -145,15 +148,16 @@ func AdaptiveStudy(o Options) *AdaptiveResult {
 		cfg.AdaptiveDeliWays = true
 		return cfg
 	})
-	base := Baseline()
+	mixes := o.mixes(4)
+	grid := o.mixMetricsGrid(mixes, []PolicySpec{Baseline(), fixed, adaptive})
 	var rFixed, rAdaptive []float64
-	for _, m := range o.mixes(4) {
-		b := o.mixMetrics(m, base).WS
+	for i := range mixes {
+		b := grid[i][0].WS
 		if b <= 0 {
 			continue
 		}
-		rFixed = append(rFixed, o.mixMetrics(m, fixed).WS/b)
-		rAdaptive = append(rAdaptive, o.mixMetrics(m, adaptive).WS/b)
+		rFixed = append(rFixed, grid[i][1].WS/b)
+		rAdaptive = append(rAdaptive, grid[i][2].WS/b)
 	}
 	res.GainFixed = stats.GeoMean(rFixed)
 	res.GainAdaptive = stats.GeoMean(rAdaptive)

@@ -24,22 +24,37 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSVFile writes the table as CSV to path, creating missing parent
+// directories.
+func (t *Table) WriteCSVFile(path string) error {
+	return writeFile(path, t.WriteCSV)
+}
+
 // SaveCSV writes the table to dir/<slug-of-title>.csv and returns the
-// path. The directory is created if needed.
+// path; dir (and any missing parents) are created.
 func (t *Table) SaveCSV(dir string) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
 	path := filepath.Join(dir, slug(t.Title)+".csv")
+	return path, t.WriteCSVFile(path)
+}
+
+// writeFile creates path's parent directories and streams one writer
+// into it. All table writers funnel through here so none of them can
+// assume the output directory already exists.
+func writeFile(path string, write func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return "", err
+		return err
 	}
-	if err := t.WriteCSV(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
-		return "", err
+		return err
 	}
-	return path, f.Close()
+	return f.Close()
 }
 
 // slug converts a table title into a safe file stem ("E6: 2-core ..." ->

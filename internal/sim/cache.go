@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Cache is a content-addressed result store: an in-memory LRU over
+// JSON-encoded values, optionally backed by an on-disk JSON store that
+// survives restarts. Values round-trip through encoding/json, which is
+// exact for float64, so a cached result is byte-identical to a fresh one.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	dir     string     // "" disables the disk tier
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache holding up to capacity in-memory entries
+// (minimum 1). dir, when non-empty, enables the persistent tier; it is
+// created on first write.
+func NewCache(capacity int, dir string) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+		dir:     dir,
+	}
+}
+
+// Len reports the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Get looks the key up (memory first, then disk) and decodes the stored
+// value into `into` (a pointer). A disk hit is promoted into memory.
+func (c *Cache) Get(key string, into any) bool {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return json.Unmarshal(data, into) == nil
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return false
+	}
+	data, err := os.ReadFile(c.diskPath(key))
+	if err != nil || json.Unmarshal(data, into) != nil {
+		return false
+	}
+	c.putBytes(key, data)
+	return true
+}
+
+// Put stores a JSON-marshalable value under the key, evicting the
+// least-recently-used in-memory entry past capacity and writing through
+// to the disk tier when enabled.
+func (c *Cache) Put(key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sim: cache encode: %w", err)
+	}
+	c.putBytes(key, data)
+	if c.dir != "" {
+		path := c.diskPath(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		// Write-then-rename keeps readers from seeing partial files.
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	return nil
+}
+
+func (c *Cache) putBytes(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// diskPath maps a key to a file. Keys that are already hex digests are
+// used as-is; anything else is hashed so arbitrary key strings stay
+// filesystem-safe. A two-character fan-out directory keeps directories
+// small under large sweeps.
+func (c *Cache) diskPath(key string) string {
+	name := key
+	if !isHex(name) || len(name) != 64 {
+		sum := sha256.Sum256([]byte(key))
+		name = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(c.dir, name[:2], name+".json")
+}
+
+func isHex(s string) bool {
+	return strings.IndexFunc(s, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}

@@ -1,0 +1,18 @@
+// Package sim turns the simulator into a service substrate: declarative,
+// content-addressed simulation jobs; a bounded worker-pool scheduler that
+// exploits every host core; an LRU + optional on-disk result cache keyed
+// by the job hash, so identical simulations never run twice; and expvar
+// counters for observability.
+//
+// The layering is deliberate: sim sits above the machine model (cpu,
+// cache, core, policy, workload) and below both the experiment suite
+// (internal/experiments fans its mix tables out through the scheduler)
+// and the HTTP surface (cmd/nucache-serve mounts Server's handlers).
+//
+// A Request is the canonical unit of work — everything that determines a
+// simulation's outcome (workload, policy, machine geometry knobs, budget,
+// seed) and nothing that doesn't. Request.Key() hashes the normalized
+// form, so two requests that mean the same simulation share one cache
+// entry regardless of field spelling (e.g. an explicit default budget
+// versus an omitted one).
+package sim

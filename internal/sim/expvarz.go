@@ -1,0 +1,25 @@
+package sim
+
+import "expvar"
+
+// Runtime counters, published once per process under /debug/vars. They
+// aggregate across every scheduler in the process (the experiment grid
+// and the HTTP service share one accounting surface).
+var (
+	// JobsQueued counts jobs submitted to any scheduler.
+	JobsQueued = expvar.NewInt("nucache_jobs_queued")
+	// JobsRunning is the number of jobs executing right now (gauge).
+	JobsRunning = expvar.NewInt("nucache_jobs_running")
+	// JobsDone counts jobs that completed successfully (cache hits
+	// excluded — those never ran).
+	JobsDone = expvar.NewInt("nucache_jobs_done")
+	// JobsFailed counts jobs that returned an error or panicked.
+	JobsFailed = expvar.NewInt("nucache_jobs_failed")
+	// CacheHits / CacheMisses count content-addressed result lookups.
+	CacheHits   = expvar.NewInt("nucache_cache_hits")
+	CacheMisses = expvar.NewInt("nucache_cache_misses")
+	// InstructionsRetired totals simulated instructions across all runs.
+	InstructionsRetired = expvar.NewInt("nucache_sim_instructions")
+	// WallNanos totals wall-clock nanoseconds spent executing jobs.
+	WallNanos = expvar.NewInt("nucache_sim_wall_ns")
+)

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"nucache/internal/workload"
+)
+
+// Request declaratively describes one simulation: a workload (exactly one
+// of Bench, Mix or Members), a shared-LLC policy, and the machine knobs
+// that affect the outcome. The zero value of every optional field means
+// "default", so a normalized Request is canonical and hashable.
+type Request struct {
+	// Bench runs a single benchmark alone on one core.
+	Bench string `json:"bench,omitempty"`
+	// Mix runs a standard named mix (e.g. "mix4-01").
+	Mix string `json:"mix,omitempty"`
+	// Members runs an ad-hoc mix, one benchmark name per core.
+	Members []string `json:"members,omitempty"`
+	// Policy is the LLC policy name (see Policies); default "NUcache".
+	Policy string `json:"policy,omitempty"`
+	// Budget is the per-core instruction budget (0 = 5M).
+	Budget uint64 `json:"budget,omitempty"`
+	// Seed drives the workload generators (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// DeliWays sets NUcache's retention ways: 0 = default (6),
+	// -1 = none (degenerates to LRU over the MainWays).
+	DeliWays int `json:"deliways,omitempty"`
+	// L2 adds a private 256KB 8-way L2 per core.
+	L2 bool `json:"l2,omitempty"`
+	// DRAM switches to the bank/row-buffer memory model.
+	DRAM bool `json:"dram,omitempty"`
+	// Prefetch is the next-line prefetch degree (0 = off).
+	Prefetch int `json:"prefetch,omitempty"`
+	// Warmup excludes each core's first N instructions from statistics.
+	Warmup uint64 `json:"warmup,omitempty"`
+}
+
+// Normalize fills defaulted fields so that equivalent requests compare
+// and hash identically.
+func (r Request) Normalize() Request {
+	if r.Budget == 0 {
+		r.Budget = 5_000_000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Policy == "" {
+		r.Policy = "NUcache"
+	}
+	if r.DeliWays == 0 {
+		r.DeliWays = 6
+	}
+	return r
+}
+
+// deliWays maps the request encoding (-1 = none) to the config value.
+func (r Request) deliWays() int {
+	if r.DeliWays < 0 {
+		return 0
+	}
+	return r.DeliWays
+}
+
+// Validate checks workload and policy names on a normalized request.
+func (r Request) Validate() error {
+	if _, err := r.ResolveMix(); err != nil {
+		return err
+	}
+	if !knownPolicy(r.Policy) {
+		return fmt.Errorf("sim: unknown policy %q", r.Policy)
+	}
+	if r.DeliWays < -1 {
+		return fmt.Errorf("sim: deliways %d out of range", r.DeliWays)
+	}
+	if r.Prefetch < 0 {
+		return fmt.Errorf("sim: negative prefetch degree")
+	}
+	return nil
+}
+
+// ResolveMix maps the request's workload fields to a concrete mix.
+// Exactly one of Bench, Mix, Members must be set.
+func (r Request) ResolveMix() (workload.Mix, error) {
+	n := 0
+	if r.Bench != "" {
+		n++
+	}
+	if r.Mix != "" {
+		n++
+	}
+	if len(r.Members) > 0 {
+		n++
+	}
+	if n != 1 {
+		return workload.Mix{}, fmt.Errorf("sim: specify exactly one of bench, mix, members")
+	}
+	switch {
+	case r.Bench != "":
+		if _, ok := workload.ByName(r.Bench); !ok {
+			return workload.Mix{}, fmt.Errorf("sim: unknown benchmark %q", r.Bench)
+		}
+		return workload.Mix{Name: "single", Members: []string{r.Bench}}, nil
+	case len(r.Members) > 0:
+		for _, m := range r.Members {
+			if _, ok := workload.ByName(m); !ok {
+				return workload.Mix{}, fmt.Errorf("sim: unknown benchmark %q", m)
+			}
+		}
+		return workload.Mix{Name: "custom", Members: r.Members}, nil
+	default:
+		for _, cores := range []int{2, 4, 8} {
+			for _, m := range workload.MixesFor(cores) {
+				if m.Name == r.Mix {
+					return m, nil
+				}
+			}
+		}
+		return workload.Mix{}, fmt.Errorf("sim: unknown mix %q", r.Mix)
+	}
+}
+
+// Canonical renders the normalized request as a stable string — the
+// preimage of the content address. Every field that can change the
+// simulation's outcome appears here; nothing else may.
+func (r Request) Canonical() string {
+	r = r.Normalize()
+	return strings.Join([]string{
+		"nucache-sim/v1",
+		"bench=" + r.Bench,
+		"mix=" + r.Mix,
+		"members=" + strings.Join(r.Members, "+"),
+		"policy=" + strings.ToUpper(r.Policy),
+		fmt.Sprintf("budget=%d", r.Budget),
+		fmt.Sprintf("seed=%d", r.Seed),
+		fmt.Sprintf("deliways=%d", r.DeliWays),
+		fmt.Sprintf("l2=%v", r.L2),
+		fmt.Sprintf("dram=%v", r.DRAM),
+		fmt.Sprintf("prefetch=%d", r.Prefetch),
+		fmt.Sprintf("warmup=%d", r.Warmup),
+	}, "|")
+}
+
+// Key is the request's content address: hex SHA-256 of Canonical().
+func (r Request) Key() string {
+	sum := sha256.Sum256([]byte(r.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// JobFor wraps a request as a schedulable, cacheable job.
+func JobFor(req Request) Job {
+	req = req.Normalize()
+	return Job{
+		Key:   req.Key(),
+		Label: req.Canonical(),
+		New:   func() any { return new(Result) },
+		Run: func(ctx context.Context) (any, error) {
+			return Execute(ctx, req)
+		},
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/cpu"
+	"nucache/internal/memory"
+	"nucache/internal/policy"
+)
+
+// Execute runs one simulation synchronously and returns its structured
+// result. Cancellation is honored before the run starts; an in-flight
+// simulation runs to completion (the machine model has no preemption
+// points, and runs at experiment budgets finish in well under a second).
+func Execute(ctx context.Context, req Request) (*Result, error) {
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mix, err := req.ResolveMix()
+	if err != nil {
+		return nil, err
+	}
+	cfg := cpu.DefaultConfig(mix.Cores())
+	cfg.InstrBudget = req.Budget
+	cfg.PrefetchDegree = req.Prefetch
+	cfg.WarmupInstr = req.Warmup
+	if req.L2 {
+		cfg.L2 = cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64}
+		cfg.L2Latency = 6
+	}
+	if req.DRAM {
+		d := memory.DefaultConfig()
+		cfg.DRAM = &d
+	}
+	pol, err := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays())
+	if err != nil {
+		return nil, err
+	}
+	sys := cpu.NewSystem(cfg, pol, mix.Streams(req.Seed))
+	results := sys.Run()
+	res := Collect(mix, pol, cfg, req.Budget, req.Seed, results, sys)
+	InstructionsRetired.Add(int64(res.Instructions))
+	return res, nil
+}
+
+// policyNames is the catalog of LLC policies the service can build, in
+// display order.
+var policyNames = []string{
+	"LRU", "NUcache", "UCP", "PIPP", "TADIP", "DIP", "DRRIP", "SRRIP",
+	"NRU", "SHiP", "Hawkeye", "SLRU", "Random",
+}
+
+// Policies lists the policy names accepted by Request.Policy.
+func Policies() []string {
+	out := make([]string, len(policyNames))
+	copy(out, policyNames)
+	return out
+}
+
+func knownPolicy(name string) bool {
+	for _, p := range policyNames {
+		if strings.EqualFold(p, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildPolicy constructs a shared-LLC policy by name for a machine with
+// the given core count and associativity. deliWays applies to NUcache
+// only. Stochastic policies use a fixed seed so results stay
+// content-addressable.
+func BuildPolicy(name string, cores, ways, deliWays int) (cache.Policy, error) {
+	switch strings.ToUpper(name) {
+	case "LRU":
+		return policy.NewLRU(), nil
+	case "NUCACHE":
+		cfg := core.DefaultConfig(ways)
+		cfg.DeliWays = deliWays
+		return core.New(cfg)
+	case "UCP":
+		return policy.NewUCP(cores, ways), nil
+	case "PIPP":
+		return policy.NewPIPP(cores, ways, 12345), nil
+	case "TADIP":
+		return policy.NewTADIP(cores, 12345), nil
+	case "DIP":
+		return policy.NewDIP(12345), nil
+	case "DRRIP":
+		return policy.NewDRRIP(12345), nil
+	case "SRRIP":
+		return policy.NewSRRIP(), nil
+	case "NRU":
+		return policy.NewNRU(), nil
+	case "SHIP":
+		return policy.NewSHiP(), nil
+	case "HAWKEYE":
+		return policy.NewHawkeye(ways), nil
+	case "SLRU":
+		return policy.NewSLRU(ways / 2), nil
+	case "RANDOM":
+		return policy.NewRandom(12345), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of simulation work for the scheduler.
+type Job struct {
+	// Key is the result's content address. Empty disables caching and
+	// in-flight deduplication for this job.
+	Key string
+	// Label names the job in errors (optional).
+	Label string
+	// New allocates the pointer a cached result is decoded into. It is
+	// required for cacheable jobs and must match the dynamic type that
+	// Run returns.
+	New func() any
+	// Run computes the result. The returned value must be
+	// JSON-marshalable when Key is set.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Outcome is one job's result.
+type Outcome struct {
+	// Value is what Run returned, or what the cache decoded.
+	Value any
+	// Err is the job error (run failure, panic, or cancellation).
+	Err error
+	// Cached reports whether the result was served from the cache.
+	Cached bool
+	// Wall is the execution time (zero for cache hits).
+	Wall time.Duration
+}
+
+// Scheduler is a bounded worker pool with a content-addressed result
+// cache in front of it. At most `workers` jobs execute concurrently,
+// across all RunAll/RunStream/Do calls sharing the scheduler; identical
+// in-flight jobs are deduplicated so concurrent requests for the same
+// simulation run it once.
+type Scheduler struct {
+	workers  int
+	cache    *Cache
+	sem      chan struct{}
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+}
+
+// NewScheduler builds a scheduler executing at most `workers` jobs at
+// once (0 or negative = runtime.NumCPU()). cache may be nil to disable
+// result caching.
+func NewScheduler(workers int, cache *Cache) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Scheduler{
+		workers:  workers,
+		cache:    cache,
+		sem:      make(chan struct{}, workers),
+		inflight: map[string]chan struct{}{},
+	}
+}
+
+// Workers reports the concurrency bound.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Do runs one job through the cache and the pool, blocking until it
+// completes (or ctx is cancelled while queued — a job that has started
+// runs to completion).
+func (s *Scheduler) Do(ctx context.Context, job Job) Outcome {
+	JobsQueued.Add(1)
+	cacheable := job.Key != "" && s.cache != nil && job.New != nil
+	for {
+		if cacheable {
+			into := job.New()
+			if s.cache.Get(job.Key, into) {
+				CacheHits.Add(1)
+				return Outcome{Value: into, Cached: true}
+			}
+		}
+		if !cacheable {
+			break
+		}
+		s.mu.Lock()
+		ch, busy := s.inflight[job.Key]
+		if !busy {
+			s.inflight[job.Key] = make(chan struct{})
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			// The owner finished; loop to re-check the cache. If the
+			// owner failed, the next iteration claims ownership.
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err()}
+		}
+	}
+	if cacheable {
+		CacheMisses.Add(1)
+		defer func() {
+			s.mu.Lock()
+			close(s.inflight[job.Key])
+			delete(s.inflight, job.Key)
+			s.mu.Unlock()
+		}()
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Outcome{Err: ctx.Err()}
+	}
+	defer func() { <-s.sem }()
+
+	JobsRunning.Add(1)
+	start := time.Now()
+	v, err := runProtected(ctx, job)
+	wall := time.Since(start)
+	JobsRunning.Add(-1)
+	WallNanos.Add(wall.Nanoseconds())
+	if err != nil {
+		JobsFailed.Add(1)
+		return Outcome{Err: err, Wall: wall}
+	}
+	JobsDone.Add(1)
+	if cacheable {
+		// Best effort: a full disk or encode failure must not fail a
+		// job whose simulation succeeded.
+		_ = s.cache.Put(job.Key, v)
+	}
+	return Outcome{Value: v, Wall: wall}
+}
+
+// RunAll executes every job through the pool and returns outcomes in
+// submission order regardless of completion order, so fan-outs are
+// deterministic to consumers.
+func (s *Scheduler) RunAll(ctx context.Context, jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = s.Do(ctx, jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// IndexedOutcome pairs an outcome with its job's submission index.
+type IndexedOutcome struct {
+	Index   int
+	Outcome Outcome
+}
+
+// RunStream executes every job and delivers outcomes on the returned
+// channel as they complete (completion order). The channel closes after
+// the last job.
+func (s *Scheduler) RunStream(ctx context.Context, jobs []Job) <-chan IndexedOutcome {
+	ch := make(chan IndexedOutcome)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch <- IndexedOutcome{Index: i, Outcome: s.Do(ctx, jobs[i])}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+// runProtected invokes the job body, converting panics to errors so one
+// bad simulation cannot take down a sweep or the serving process.
+func runProtected(ctx context.Context, job Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			label := job.Label
+			if label == "" {
+				label = job.Key
+			}
+			err = fmt.Errorf("sim: job %s panicked: %v", label, r)
+		}
+	}()
+	return job.Run(ctx)
+}

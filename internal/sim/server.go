@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"nucache/internal/workload"
+)
+
+// Server exposes the scheduler over HTTP. Handlers are stdlib-only and
+// mounted by Handler(); cmd/nucache-serve wraps this in an http.Server
+// with graceful shutdown.
+type Server struct {
+	sched *Scheduler
+}
+
+// NewServer builds a server on top of a scheduler.
+func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
+
+// Handler returns the route table:
+//
+//	POST /v1/sim      run (or fetch) one simulation, JSON in/out
+//	POST /v1/sweep    fan a mixes×policies sweep across the pool (NDJSON)
+//	GET  /v1/catalog  benchmarks, standard mixes, policies
+//	GET  /healthz     liveness
+//	GET  /debug/vars  expvar counters
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", sv.handleSim)
+	mux.HandleFunc("POST /v1/sweep", sv.handleSweep)
+	mux.HandleFunc("GET /v1/catalog", sv.handleCatalog)
+	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// SimResponse is the POST /v1/sim envelope. Result is deterministic and
+// content-addressed by Key; Cached and WallNS describe this particular
+// serving of it.
+type SimResponse struct {
+	Key    string  `json:"key"`
+	Cached bool    `json:"cached"`
+	WallNS int64   `json:"wall_ns"`
+	Result *Result `json:"result"`
+}
+
+func (sv *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := sv.sched.Do(r.Context(), JobFor(req))
+	if out.Err != nil {
+		httpError(w, http.StatusInternalServerError, out.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimResponse{
+		Key:    req.Key(),
+		Cached: out.Cached,
+		WallNS: out.Wall.Nanoseconds(),
+		Result: out.Value.(*Result),
+	})
+}
+
+// SweepRequest describes a fan-out: every listed mix under every listed
+// policy. Mixes defaults to the standard list for Cores; Policies
+// defaults to the paper's comparison lineup.
+type SweepRequest struct {
+	// Cores selects the standard mix list (2, 4 or 8) when Mixes is
+	// empty.
+	Cores int `json:"cores,omitempty"`
+	// Mixes are standard mix names (e.g. "mix4-01").
+	Mixes []string `json:"mixes,omitempty"`
+	// Policies are policy names (default LRU, NUcache, UCP, PIPP, TADIP).
+	Policies []string `json:"policies,omitempty"`
+	// Budget, Seed, DeliWays, L2, DRAM, Prefetch apply to every job.
+	Budget   uint64 `json:"budget,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	DeliWays int    `json:"deliways,omitempty"`
+	L2       bool   `json:"l2,omitempty"`
+	DRAM     bool   `json:"dram,omitempty"`
+	Prefetch int    `json:"prefetch,omitempty"`
+}
+
+// expand turns the sweep into concrete requests, mix-major.
+func (sw SweepRequest) expand() ([]Request, error) {
+	mixes := sw.Mixes
+	if len(mixes) == 0 {
+		if sw.Cores != 2 && sw.Cores != 4 && sw.Cores != 8 {
+			return nil, fmt.Errorf("sim: sweep needs mixes, or cores in {2,4,8}")
+		}
+		for _, m := range workload.MixesFor(sw.Cores) {
+			mixes = append(mixes, m.Name)
+		}
+	}
+	policies := sw.Policies
+	if len(policies) == 0 {
+		policies = []string{"LRU", "NUcache", "UCP", "PIPP", "TADIP"}
+	}
+	var reqs []Request
+	for _, m := range mixes {
+		for _, p := range policies {
+			req := Request{
+				Mix: m, Policy: p,
+				Budget: sw.Budget, Seed: sw.Seed, DeliWays: sw.DeliWays,
+				L2: sw.L2, DRAM: sw.DRAM, Prefetch: sw.Prefetch,
+			}.Normalize()
+			if err := req.Validate(); err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	return reqs, nil
+}
+
+// SweepEvent is one NDJSON line of the sweep stream: a "result" per
+// completed job (completion order), then a final "done" summary.
+type SweepEvent struct {
+	Type   string  `json:"type"` // "result" | "done"
+	Index  int     `json:"index"`
+	Mix    string  `json:"mix,omitempty"`
+	Policy string  `json:"policy,omitempty"`
+	Key    string  `json:"key,omitempty"`
+	Cached bool    `json:"cached,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	// Summary fields (type "done").
+	Total  int `json:"total,omitempty"`
+	Failed int `json:"failed,omitempty"`
+}
+
+func (sv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sw SweepRequest
+	if err := decodeJSON(w, r, &sw); err != nil {
+		return
+	}
+	reqs, err := sw.expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := make([]Job, len(reqs))
+	for i, req := range reqs {
+		jobs[i] = JobFor(req)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	failed := 0
+	writable := true
+	for io := range sv.sched.RunStream(r.Context(), jobs) {
+		if io.Outcome.Err != nil {
+			failed++
+		}
+		if !writable {
+			// Client went away; keep draining so every job completes
+			// and warms the cache for the retry.
+			continue
+		}
+		req := reqs[io.Index]
+		ev := SweepEvent{
+			Type: "result", Index: io.Index,
+			Mix: req.Mix, Policy: req.Policy,
+			Key: req.Key(), Cached: io.Outcome.Cached,
+		}
+		if io.Outcome.Err != nil {
+			ev.Error = io.Outcome.Err.Error()
+		} else {
+			ev.Result = io.Outcome.Value.(*Result)
+		}
+		if enc.Encode(ev) != nil {
+			writable = false
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if writable {
+		_ = enc.Encode(SweepEvent{Type: "done", Total: len(jobs), Failed: failed})
+	}
+}
+
+// Catalog is the GET /v1/catalog payload.
+type Catalog struct {
+	Benchmarks []CatalogBenchmark `json:"benchmarks"`
+	Mixes      []CatalogMix       `json:"mixes"`
+	Policies   []string           `json:"policies"`
+}
+
+type CatalogBenchmark struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+}
+
+type CatalogMix struct {
+	Name    string   `json:"name"`
+	Cores   int      `json:"cores"`
+	Members []string `json:"members"`
+}
+
+func (sv *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	cat := Catalog{Policies: Policies()}
+	for _, b := range workload.All() {
+		cat.Benchmarks = append(cat.Benchmarks, CatalogBenchmark{
+			Name: b.Name, Class: string(b.Class), Description: b.Description,
+		})
+	}
+	for _, cores := range []int{2, 4, 8} {
+		for _, m := range workload.MixesFor(cores) {
+			cat.Mixes = append(cat.Mixes, CatalogMix{
+				Name: m.Name, Cores: cores, Members: m.Members,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, cat)
+}
+
+func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": sv.sched.Workers(),
+	})
+}
+
+// maxBodyBytes bounds request bodies; sweep specs are small.
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sim: bad request body: %w", err))
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(NewScheduler(4, NewCache(64, ""))).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerSimRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"mix":"mix2-01","policy":"NUcache","budget":100000}`
+
+	resp := postJSON(t, ts.URL+"/v1/sim", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var first SimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request served from cache")
+	}
+	if first.Result == nil || first.Result.Cores != 2 || len(first.Result.PerCore) != 2 {
+		t.Fatalf("result: %+v", first.Result)
+	}
+	want := Request{Mix: "mix2-01", Policy: "NUcache", Budget: 100_000}.Key()
+	if first.Key != want {
+		t.Fatalf("key %s, want %s", first.Key, want)
+	}
+
+	// The identical request must be a cache hit with an identical result,
+	// and the hit must be visible in /debug/vars.
+	hitsBefore := CacheHits.Value()
+	resp2 := postJSON(t, ts.URL+"/v1/sim", body)
+	defer resp2.Body.Close()
+	var second SimResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated request not served from cache")
+	}
+	a, _ := json.Marshal(first.Result)
+	b, _ := json.Marshal(second.Result)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cached result differs:\n%s\n%s", a, b)
+	}
+
+	vars := struct {
+		Hits int64 `json:"nucache_cache_hits"`
+	}{}
+	dv, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dv.Body.Close()
+	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Hits <= hitsBefore {
+		t.Fatalf("expvar cache hits %d not past %d", vars.Hits, hitsBefore)
+	}
+}
+
+func TestServerSimRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		`{"mix":"mix9-99"}`,                    // unknown mix
+		`{"bench":"art-like","mix":"mix2-01"}`, // two workloads
+		`{"policy":"NUcache"}`,                 // no workload
+		`{"mix":"mix2-01","bogus":true}`,       // unknown field
+		`not json`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/sim", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d", body, resp.StatusCode)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/sim: %d", resp.StatusCode)
+	}
+}
+
+func TestServerSweepStreams(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/sweep",
+		`{"mixes":["mix2-01","mix2-02"],"policies":["LRU","NUcache"],"budget":60000}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var results, done int
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "result":
+			results++
+			if ev.Error != "" || ev.Result == nil {
+				t.Fatalf("job failed: %+v", ev)
+			}
+			if seen[ev.Index] {
+				t.Fatalf("index %d delivered twice", ev.Index)
+			}
+			seen[ev.Index] = true
+		case "done":
+			done++
+			if ev.Total != 4 || ev.Failed != 0 {
+				t.Fatalf("summary %+v", ev)
+			}
+		default:
+			t.Fatalf("unknown event %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if results != 4 || done != 1 {
+		t.Fatalf("%d results, %d done lines", results, done)
+	}
+}
+
+func TestServerCatalogAndHealth(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat Catalog
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Benchmarks) == 0 || len(cat.Mixes) == 0 || len(cat.Policies) == 0 {
+		t.Fatalf("sparse catalog: %d benches, %d mixes, %d policies",
+			len(cat.Benchmarks), len(cat.Mixes), len(cat.Policies))
+	}
+
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Body.Close()
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(h.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Workers != 4 {
+		t.Fatalf("health %+v", health)
+	}
+}
