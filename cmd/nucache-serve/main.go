@@ -26,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,7 +48,6 @@ func main() {
 
 	sched := sim.NewScheduler(*workers, sim.NewCache(*cacheCap, *cacheDir))
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           sim.NewServer(sched).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -55,10 +55,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before announcing so ":0" (ephemeral port, used by the smoke
+	// tests) reports the actual bound address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nucache-serve:", err)
+		os.Exit(1)
+	}
+
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "nucache-serve: listening on %s (%d workers, cache %d entries)\n",
-		*addr, sched.Workers(), *cacheCap)
+		ln.Addr(), sched.Workers(), *cacheCap)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// beBinary, when set, makes the test binary act as the real nucache-serve
+// binary (see cmd/nucache-sim for the pattern).
+const beBinary = "NUCACHE_SERVE_BE_BINARY"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(beBinary) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startServer launches the binary on an ephemeral port and returns its
+// base URL once the listen line appears on stderr.
+func startServer(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), beBinary+"=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	lines := bufio.NewScanner(stderr)
+	addrc := make(chan string, 1)
+	go func() {
+		defer io.Copy(io.Discard, stderr) // keep draining after the match
+		for lines.Scan() {
+			line := lines.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				addrc <- fields[0]
+				return
+			}
+		}
+		close(addrc)
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			t.Fatal("server exited before announcing its address")
+		}
+		return cmd, "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for listen line")
+	}
+	panic("unreachable")
+}
+
+func TestHealthzRoundTrip(t *testing.T) {
+	cmd, base := startServer(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if health.Status != "ok" || health.Workers <= 0 {
+		t.Fatalf("healthz = %+v, want status ok and workers > 0", health)
+	}
+
+	// Graceful shutdown: SIGINT must drain and exit 0.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server did not exit cleanly on SIGINT: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit within drain timeout")
+	}
+}
+
+func TestSimEndpoint(t *testing.T) {
+	_, base := startServer(t)
+	body := strings.NewReader(`{"bench":"ammp-like","budget":100000}`)
+	resp, err := http.Post(base+"/v1/sim", "application/json", body)
+	if err != nil {
+		t.Fatalf("POST /v1/sim: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim status = %d, body %s", resp.StatusCode, raw)
+	}
+	var env struct {
+		Key    string `json:"key"`
+		Result struct {
+			Policy string `json:"policy"`
+			LLC    struct {
+				Accesses uint64 `json:"accesses"`
+			} `json:"llc"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("sim response is not JSON: %v\n%s", err, raw)
+	}
+	if len(env.Key) != 64 || env.Result.Policy != "NUcache" || env.Result.LLC.Accesses == 0 {
+		t.Fatalf("unexpected sim response: %s", raw)
+	}
+}

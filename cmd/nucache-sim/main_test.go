@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// beBinary, when set, makes the test binary act as the real nucache-sim
+// binary: TestMain dispatches straight into main(). Smoke tests re-exec
+// os.Args[0] with it set, exercising flag parsing, the simulator and the
+// output encoders end to end without a separate `go build`.
+const beBinary = "NUCACHE_SIM_BE_BINARY"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(beBinary) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), beBinary+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, errOut, err := runMain(t, "-bench", "ammp-like", "-budget", "150000", "-json")
+	if err != nil {
+		t.Fatalf("nucache-sim -json failed: %v\nstderr: %s", err, errOut)
+	}
+	var res struct {
+		Policy  string `json:"policy"`
+		PerCore []struct {
+			IPC          float64 `json:"ipc"`
+			Instructions uint64  `json:"instructions"`
+		} `json:"per_core"`
+		LLC struct {
+			Accesses uint64 `json:"accesses"`
+			Misses   uint64 `json:"misses"`
+		} `json:"llc"`
+		NUcache *struct {
+			Epochs int `json:"epochs"`
+		} `json:"nucache"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.Policy != "NUcache" {
+		t.Errorf("policy = %q, want NUcache", res.Policy)
+	}
+	if len(res.PerCore) != 1 || res.PerCore[0].IPC <= 0 || res.PerCore[0].Instructions == 0 {
+		t.Errorf("bad per-core stats: %+v", res.PerCore)
+	}
+	if res.LLC.Accesses == 0 || res.LLC.Misses == 0 {
+		t.Errorf("LLC saw no traffic: %+v", res.LLC)
+	}
+	if res.NUcache == nil {
+		t.Error("nucache section missing from JSON output")
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	out, errOut, err := runMain(t, "-bench", "ammp-like", "-budget", "120000", "-policy", "LRU")
+	if err != nil {
+		t.Fatalf("nucache-sim failed: %v\nstderr: %s", err, errOut)
+	}
+	if !strings.Contains(out, "LLC:") || !strings.Contains(out, "ammp-like") {
+		t.Errorf("text report missing expected sections:\n%s", out)
+	}
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runMain(t, "-list")
+	if err != nil {
+		t.Fatalf("nucache-sim -list failed: %v", err)
+	}
+	for _, want := range []string{"benchmarks", "ammp-like", "mix4-01"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownBenchExitsNonzero(t *testing.T) {
+	_, errOut, err := runMain(t, "-bench", "no-such-bench", "-json")
+	var exit *exec.ExitError
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if !errors.As(err, &exit) || exit.ExitCode() == 0 {
+		t.Fatalf("want nonzero exit, got %v (stderr %q)", err, errOut)
+	}
+	if !strings.Contains(errOut, "no-such-bench") {
+		t.Errorf("stderr does not name the bad benchmark: %q", errOut)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRequestKey fuzzes the request canonicalization that the
+// content-addressed result cache is built on. The invariants:
+//
+//  1. Key is deterministic and normalization-stable: an equivalent
+//     request (defaults filled vs not, policy case) must hash to the
+//     SAME SHA-256 key, or the cache silently re-simulates.
+//  2. Distinct canonical strings must give distinct keys (a collision
+//     would serve one experiment's numbers for another's request).
+//  3. Normalize is idempotent.
+func FuzzRequestKey(f *testing.F) {
+	f.Add("ammp-like", "", "", "NUcache", uint64(0), uint64(0), 0, false, false, 0, uint64(0))
+	f.Add("", "mix4-01", "", "lru", uint64(1_000_000), uint64(7), -1, true, true, 2, uint64(1000))
+	f.Add("", "", "art-like,swim-like", "UCP", uint64(5_000_000), uint64(1), 8, false, true, 0, uint64(0))
+	f.Add("", "", "", "", uint64(0), uint64(0), 0, false, false, 0, uint64(0))
+
+	f.Fuzz(func(t *testing.T, bench, mix, members, pol string,
+		budget, seed uint64, deliWays int, l2, dram bool, prefetch int, warmup uint64) {
+		req := Request{
+			Bench: bench, Mix: mix, Policy: pol,
+			Budget: budget, Seed: seed, DeliWays: deliWays,
+			L2: l2, DRAM: dram, Prefetch: prefetch, Warmup: warmup,
+		}
+		if members != "" {
+			req.Members = strings.Split(members, ",")
+		}
+
+		norm := req.Normalize()
+		if norm.Normalize().Canonical() != norm.Canonical() {
+			t.Fatalf("Normalize not idempotent: %q vs %q",
+				norm.Normalize().Canonical(), norm.Canonical())
+		}
+		if req.Key() != norm.Key() {
+			t.Fatalf("key not normalization-stable: raw %s vs normalized %s (canonical %q)",
+				req.Key(), norm.Key(), req.Canonical())
+		}
+		if req.Key() != req.Key() {
+			t.Fatal("key not deterministic")
+		}
+
+		// Policy name case must not change the address.
+		flipped := req
+		flipped.Policy = strings.ToLower(pol)
+		if flipped.Policy == req.Policy {
+			flipped.Policy = strings.ToUpper(pol)
+		}
+		if flipped.Key() != req.Key() {
+			t.Fatalf("policy case changed key: %q vs %q", flipped.Policy, req.Policy)
+		}
+
+		// Any semantic field change must move the canonical string, and
+		// with it the key.
+		for _, mut := range []Request{
+			func() Request { r := req; r.Seed = seed + 1; return r }(),
+			func() Request { r := req; r.Budget = budget + 1; return r }(),
+			func() Request { r := req; r.Warmup = warmup + 1; return r }(),
+			func() Request { r := req; r.L2 = !l2; return r }(),
+			func() Request { r := req; r.DRAM = !dram; return r }(),
+			func() Request { r := req; r.Prefetch = prefetch + 1; return r }(),
+		} {
+			same := mut.Canonical() == req.Canonical()
+			if same != (mut.Key() == req.Key()) {
+				t.Fatalf("key/canonical disagreement:\n%q -> %s\n%q -> %s",
+					req.Canonical(), req.Key(), mut.Canonical(), mut.Key())
+			}
+			// Normalization maps 0 to a default, so mutations that cross
+			// the default are allowed to collide canonically; otherwise
+			// the canonical must move.
+			if same && mut.Normalize().Canonical() == req.Normalize().Canonical() {
+				continue
+			}
+			if same {
+				t.Fatalf("mutation did not move canonical: %q", req.Canonical())
+			}
+		}
+
+		if len(req.Key()) != 64 {
+			t.Fatalf("key %q is not hex SHA-256", req.Key())
+		}
+		if !strings.HasPrefix(req.Canonical(), "nucache-sim/v1|") {
+			t.Fatalf("canonical missing version prefix: %q", req.Canonical())
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/sim -run TestGolden -update
+//
+// Regenerate ONLY when a PR deliberately changes simulation semantics
+// (new policy behaviour, machine-model change, workload change). Pure
+// optimization PRs must leave every golden file byte-identical — that is
+// the suite's entire point (see EXPERIMENTS.md, "Golden-metrics suite").
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenBudget keeps the whole suite (all policies × workloads) around a
+// few seconds while still running multiple NUcache epochs, so miss
+// counts, IPC and chosen-PC sets are all meaningfully exercised.
+const goldenBudget = 200_000
+
+// goldenWorkloads is the pinned workload set. Single-core runs cover the
+// per-bench behaviour; the mixes cover shared-cache interference where
+// policy decisions (partitioning, retention) actually differ.
+func goldenWorkloads() []Request {
+	return []Request{
+		{Bench: "ammp-like", Budget: goldenBudget},
+		{Bench: "art-like", Budget: goldenBudget},
+		{Mix: "mix2-01", Budget: goldenBudget},
+		{Mix: "mix4-01", Budget: goldenBudget},
+	}
+}
+
+// goldenName is the file stem for one workload request.
+func goldenName(r Request) string {
+	if r.Bench != "" {
+		return "bench-" + r.Bench
+	}
+	return "mix-" + r.Mix
+}
+
+// TestGoldenMetrics runs every policy over the pinned workload set and
+// requires the full structured Result — miss counts, IPC, eviction and
+// writeback counts, NUcache chosen-PC sets — to match the recorded
+// goldens byte-for-byte. Any semantic drift in the simulator, however
+// small, fails this test; optimizations must be bit-exact.
+func TestGoldenMetrics(t *testing.T) {
+	for _, wl := range goldenWorkloads() {
+		wl := wl
+		t.Run(goldenName(wl), func(t *testing.T) {
+			got := make(map[string]json.RawMessage, len(Policies()))
+			for _, pol := range Policies() {
+				req := wl
+				req.Policy = pol
+				res, err := Execute(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", goldenName(wl), pol, err)
+				}
+				raw, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					t.Fatalf("marshal %s: %v", pol, err)
+				}
+				got[pol] = raw
+			}
+			path := filepath.Join("testdata", "golden", goldenName(wl)+".json")
+			blob, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob = append(blob, '\n')
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d policies)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to record): %v", err)
+			}
+			if bytes.Equal(want, blob) {
+				return
+			}
+			// Pinpoint the drift per policy for a readable failure.
+			var wantMap map[string]json.RawMessage
+			if err := json.Unmarshal(want, &wantMap); err != nil {
+				t.Fatalf("corrupt golden %s: %v", path, err)
+			}
+			for _, pol := range Policies() {
+				w, g := wantMap[pol], got[pol]
+				if !bytes.Equal(normalizeJSON(t, w), normalizeJSON(t, g)) {
+					t.Errorf("%s: %s metrics drifted from golden\n--- golden ---\n%s\n--- got ---\n%s",
+						goldenName(wl), pol, firstDiffContext(w, g), firstDiffContext(g, w))
+				}
+			}
+			if !t.Failed() {
+				t.Errorf("%s: golden file formatting drifted (re-run with -update)", path)
+			}
+		})
+	}
+}
+
+// normalizeJSON re-marshals raw JSON so formatting differences don't mask
+// or fake a semantic diff.
+func normalizeJSON(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// firstDiffContext returns a short window around the first byte where a
+// differs from b, for failure messages.
+func firstDiffContext(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	start := i - 80
+	if start < 0 {
+		start = 0
+	}
+	end := i + 120
+	if end > len(a) {
+		end = len(a)
+	}
+	return fmt.Sprintf("...%s...", a[start:end])
+}
