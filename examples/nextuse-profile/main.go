@@ -65,7 +65,7 @@ func main() {
 		mon.SampledMisses(), 8, cfg.LifetimeSlack)
 	fmt.Printf("\nselection: %d of %d candidates chosen, lifetime=%d misses, projected benefit=%d hits\n",
 		report.Chosen, report.Candidates, report.Lifetime, report.Benefit)
-	for pc := range chosen {
+	for _, pc := range chosen {
 		fmt.Printf("  chosen: %#x\n", pc)
 	}
 	fmt.Println()

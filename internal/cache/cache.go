@@ -75,6 +75,14 @@ type Cache struct {
 	indexMask  uint64
 	seq        uint64
 
+	// tags/valid mirror the per-line Tag and Valid fields in a dense
+	// layout for the access-path lookup: scanning 8 bytes per way instead
+	// of a full 32-byte Line keeps the whole search inside one or two
+	// cache lines. Only Access and Invalidate mutate tags/valid (policies
+	// own Meta but never Tag or Valid), so the mirror cannot drift.
+	tags  []uint64 // sets*ways, indexed set*ways+way
+	valid []uint64 // per-set bitmask of valid ways (Ways <= 64)
+
 	// Stats is exported for cheap reading by the harness.
 	Stats Stats
 }
@@ -110,6 +118,8 @@ func New(cfg Config, policy Policy) *Cache {
 		c.sets[i].Lines = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		c.sets[i].State = policy.NewSetState(i)
 	}
+	c.tags = make([]uint64, sets*cfg.Ways)
+	c.valid = make([]uint64, sets)
 	c.obs, _ = policy.(AccessObserver)
 	c.evictObs, _ = policy.(EvictionObserver)
 	return c
@@ -167,7 +177,7 @@ func (c *Cache) Access(req *Request) AccessResult {
 		c.obs.ObserveAccess(setIdx, tag, req)
 	}
 
-	if way := set.Lookup(tag); way >= 0 {
+	if way := c.lookup(setIdx, tag); way >= 0 {
 		c.Stats.Hits++
 		c.Stats.CoreHits[core]++
 		if req.Kind == trace.Store {
@@ -206,12 +216,27 @@ func (c *Cache) Access(req *Request) AccessResult {
 	set.Lines[way] = Line{
 		Tag:   tag,
 		PC:    req.PC,
-		Core:  req.Core,
+		Core:  int32(req.Core),
 		Valid: true,
 		Dirty: req.Kind == trace.Store,
 	}
+	c.tags[setIdx*c.cfg.Ways+way] = tag
+	c.valid[setIdx] |= 1 << uint(way)
 	c.policy.OnInsert(set, way, req)
 	return res
+}
+
+// lookup is Set.Lookup over the dense tag mirror — the simulator's single
+// hottest loop.
+func (c *Cache) lookup(setIdx int, tag uint64) int {
+	base := setIdx * c.cfg.Ways
+	mask := c.valid[setIdx]
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == tag && mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // Invalidate removes the line holding addr if present, returning it.
@@ -229,6 +254,8 @@ func (c *Cache) Invalidate(addr uint64) (Line, bool) {
 		c.evictObs.ObserveEviction(setIdx, line)
 	}
 	set.Lines[way] = Line{}
+	c.tags[setIdx*c.cfg.Ways+way] = 0
+	c.valid[setIdx] &^= 1 << uint(way)
 	return line, true
 }
 

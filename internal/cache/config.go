@@ -40,6 +40,11 @@ func (c Config) Validate() error {
 	if c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
 	}
+	if c.Ways > 64 {
+		// The per-set valid bitmask (and WayList's int8 entries) bound
+		// the modelled associativity.
+		return fmt.Errorf("cache %q: associativity %d exceeds the supported 64 ways", c.Name, c.Ways)
+	}
 	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
 		return fmt.Errorf("cache %q: size %d not divisible by ways*line (%d*%d)",
 			c.Name, c.SizeBytes, c.Ways, c.LineBytes)

@@ -48,6 +48,12 @@ func NewWayList(ways int) *WayList {
 	return &WayList{ways: make([]int8, 0, ways)}
 }
 
+// MakeWayList is NewWayList by value, for embedding a list directly in a
+// policy's per-set state (one less pointer chase on the access path).
+func MakeWayList(ways int) WayList {
+	return WayList{ways: make([]int8, 0, ways)}
+}
+
 // Len returns the number of entries.
 func (l *WayList) Len() int { return len(l.ways) }
 

@@ -29,7 +29,7 @@ func TestMonitorRecordsNextUseDistance(t *testing.T) {
 	m.OnMiss(0, 200)
 	m.OnMiss(0, 200)
 	m.OnAccess(0, 7)
-	p := m.pcs[100]
+	p := m.lookupPC(100)
 	if p == nil || p.NextUse.Total() != 1 {
 		t.Fatal("next-use not recorded")
 	}
@@ -47,7 +47,7 @@ func TestMonitorEntryRetiredAfterReuse(t *testing.T) {
 	m.OnAccess(0, 7)
 	m.OnMiss(0, 1)
 	m.OnAccess(0, 7) // second access: entry already retired
-	if m.pcs[100].NextUse.Total() != 1 {
+	if m.lookupPC(100).NextUse.Total() != 1 {
 		t.Fatal("entry reused twice")
 	}
 }
@@ -61,11 +61,11 @@ func TestMonitorSampling(t *testing.T) {
 	if m.SampledMisses() != 1 {
 		t.Fatalf("sampled misses = %d", m.SampledMisses())
 	}
-	if m.pcs[50].Misses != 2 {
-		t.Fatalf("pc misses = %d", m.pcs[50].Misses)
+	if m.lookupPC(50).Misses != 2 {
+		t.Fatalf("pc misses = %d", m.lookupPC(50).Misses)
 	}
 	m.OnDemotion(1, 9, 50) // unsampled: ignored
-	if m.pcs[50].Demotions != 0 {
+	if m.lookupPC(50).Demotions != 0 {
 		t.Fatal("unsampled demotion recorded")
 	}
 }
@@ -127,7 +127,7 @@ func TestMonitorEndEpochKeepsDistancesAcrossBoundary(t *testing.T) {
 	}
 	m.OnMiss(0, 1)
 	m.OnAccess(0, 7) // distance spans the epoch boundary: 2 misses elapsed
-	p := m.pcs[100]
+	p := m.lookupPC(100)
 	if p == nil || p.NextUse.Total() != 1 || p.NextUse.Mean() != 2 {
 		t.Fatalf("cross-epoch distance not recorded: %+v", p)
 	}

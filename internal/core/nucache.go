@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"nucache/internal/cache"
 )
 
@@ -13,7 +11,7 @@ import (
 type NUcache struct {
 	cfg     Config
 	mon     *Monitor
-	chosen  map[uint64]struct{}
+	chosen  []uint64    // sorted ascending; sized by MaxChosen (hot: isChosen)
 	curDeli int         // active DeliWays count (== cfg.DeliWays unless adaptive)
 	states  []*setState // every set's state, for epoch-boundary rebalancing
 
@@ -47,7 +45,6 @@ func New(cfg Config) (*NUcache, error) {
 	p := &NUcache{
 		cfg:     cfg,
 		mon:     NewMonitor(cfg),
-		chosen:  make(map[uint64]struct{}),
 		curDeli: cfg.DeliWays,
 		// A short first epoch engages retention quickly after cold start.
 		epochTarget: cfg.EpochMisses / 8,
@@ -78,26 +75,24 @@ func (p *NUcache) Monitor() *Monitor { return p.mon }
 
 // ChosenPCs returns the currently chosen delinquent PCs, sorted.
 func (p *NUcache) ChosenPCs() []uint64 {
-	out := make([]uint64, 0, len(p.chosen))
-	for pc := range p.chosen {
-		out = append(out, pc)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]uint64(nil), p.chosen...)
 }
 
 type setState struct {
 	setIndex int
-	main     *cache.WayList // front = MRU, back = LRU
-	deli     *cache.WayList // front = oldest (FIFO head), back = newest
+	// The lists are embedded by value: every Victim/OnHit/OnInsert walks
+	// them, and an extra *WayList indirection per operation is measurable
+	// on the access path.
+	main cache.WayList // front = MRU, back = LRU
+	deli cache.WayList // front = oldest (FIFO head), back = newest
 }
 
 // NewSetState implements cache.Policy.
 func (p *NUcache) NewSetState(setIndex int) cache.SetState {
 	st := &setState{
 		setIndex: setIndex,
-		main:     cache.NewWayList(p.cfg.Ways),
-		deli:     cache.NewWayList(p.cfg.Ways),
+		main:     cache.MakeWayList(p.cfg.Ways),
+		deli:     cache.MakeWayList(p.cfg.Ways),
 	}
 	p.states = append(p.states, st)
 	return st
@@ -128,8 +123,10 @@ func (p *NUcache) ObserveAccess(setIndex int, tag uint64, _ *cache.Request) {
 // line into the freed FIFO slot.
 func (p *NUcache) OnHit(set *cache.Set, way int, _ *cache.Request) {
 	st := set.State.(*setState)
-	if st.main.Contains(way) {
-		st.main.MoveToFront(way)
+	if mi := st.main.IndexOf(way); mi >= 0 {
+		// Inline MoveToFront: one scan instead of Contains + IndexOf.
+		st.main.RemoveAt(mi)
+		st.main.PushFront(way)
 		return
 	}
 	idx := st.deli.IndexOf(way)
@@ -193,7 +190,7 @@ func (p *NUcache) Victim(set *cache.Set, req *cache.Request) int {
 	// also drains an oversized MainWays after a fallback epoch ends.
 	for st.main.Len() > 0 {
 		victimWay := st.main.PopBack()
-		victim := set.Lines[victimWay]
+		victim := &set.Lines[victimWay]
 		p.Demotions++
 		p.mon.OnDemotion(st.setIndex, victim.Tag, victim.PC)
 
@@ -235,9 +232,30 @@ func (p *NUcache) insertMain(st *setState, way int) {
 	st.main.PushFront(way)
 }
 
+// isChosen reports whether pc is in the chosen set. The set is a small
+// sorted slice (≤ MaxChosen entries, typically a handful): a linear scan
+// over contiguous memory beats both a map lookup and, for tiny sets, a
+// binary search on the per-demotion hot path.
 func (p *NUcache) isChosen(pc uint64) bool {
-	_, ok := p.chosen[pc]
-	return ok
+	c := p.chosen
+	if len(c) > 16 {
+		lo, hi := 0, len(c)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if c[mid] < pc {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(c) && c[lo] == pc
+	}
+	for _, v := range c {
+		if v == pc {
+			return true
+		}
+	}
+	return false
 }
 
 // runSelection closes the epoch: rank candidates, run the cost-benefit
@@ -247,7 +265,7 @@ func (p *NUcache) runSelection() {
 	p.epochTarget = p.cfg.EpochMisses
 	cands := p.mon.TopCandidates(p.cfg.Candidates)
 	var (
-		chosen map[uint64]struct{}
+		chosen []uint64
 		report SelectionReport
 	)
 	if p.cfg.AdaptiveDeliWays {

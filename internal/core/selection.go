@@ -43,20 +43,20 @@ type SelectionReport struct {
 	SampledMisses uint64
 }
 
-// SelectPCs runs the cost-benefit analysis and returns the chosen PC set.
+// SelectPCs runs the cost-benefit analysis and returns the chosen PC set
+// as a slice sorted ascending (the policy's hot path searches it).
 // slack scales the projected lifetime before comparing against observed
 // distances (slack <= 0 selects the default of 1). Values above 1 model
 // burstiness optimism — lines demoted late in a burst survive longer than
 // the average drain rate suggests — but empirically over-select PCs and
 // flood the FIFO, so the default stays at the exact rate model.
-func SelectPCs(cands []*PCStats, deliWays int, sampledMisses uint64, maxChosen int, slack float64) (map[uint64]struct{}, SelectionReport) {
+func SelectPCs(cands []*PCStats, deliWays int, sampledMisses uint64, maxChosen int, slack float64) ([]uint64, SelectionReport) {
 	if slack <= 0 {
 		slack = 1
 	}
 	report := SelectionReport{Candidates: len(cands), SampledMisses: sampledMisses}
-	chosen := make(map[uint64]struct{})
 	if deliWays == 0 || len(cands) == 0 || sampledMisses == 0 {
-		return chosen, report
+		return nil, report
 	}
 
 	// Only PCs whose lines actually flow through the MainWays can use the
@@ -68,7 +68,7 @@ func SelectPCs(cands []*PCStats, deliWays int, sampledMisses uint64, maxChosen i
 		}
 	}
 	if len(useful) == 0 {
-		return chosen, report
+		return nil, report
 	}
 	sort.Slice(useful, func(i, j int) bool {
 		mi, mj := useful[i].NextUse.Mean(), useful[j].NextUse.Mean()
@@ -86,9 +86,11 @@ func SelectPCs(cands []*PCStats, deliWays int, sampledMisses uint64, maxChosen i
 	}
 
 	bestK, bestBenefit, bestLifetime := bestPrefix(useful, deliWays, sampledMisses, slack)
+	chosen := make([]uint64, 0, bestK)
 	for i := 0; i < bestK; i++ {
-		chosen[useful[i].PC] = struct{}{}
+		chosen = append(chosen, useful[i].PC)
 	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
 	report.Chosen = bestK
 	report.DeliWays = deliWays
 	report.Benefit = bestBenefit
@@ -125,9 +127,9 @@ func bestPrefix(useful []*PCStats, deliWays int, sampledMisses uint64, slack flo
 // typically the monitor's observed hits at the deepest stack positions
 // (callers without that estimate pass 0 and get pure retention-benefit
 // maximization).
-func SelectPCsAdaptive(cands []*PCStats, maxDeliWays int, sampledMisses uint64, maxChosen int, slack float64, lostPerWay uint64) (map[uint64]struct{}, SelectionReport) {
+func SelectPCsAdaptive(cands []*PCStats, maxDeliWays int, sampledMisses uint64, maxChosen int, slack float64, lostPerWay uint64) ([]uint64, SelectionReport) {
 	best := SelectionReport{Candidates: len(cands), SampledMisses: sampledMisses}
-	bestChosen := make(map[uint64]struct{})
+	var bestChosen []uint64
 	var bestScore int64
 	for d := 2; d <= maxDeliWays; d += 2 {
 		chosen, rep := SelectPCs(cands, d, sampledMisses, maxChosen, slack)

@@ -7,6 +7,16 @@ import (
 	"nucache/internal/stats"
 )
 
+// contains reports whether the sorted chosen slice includes pc.
+func contains(chosen []uint64, pc uint64) bool {
+	for _, v := range chosen {
+		if v == pc {
+			return true
+		}
+	}
+	return false
+}
+
 func candidate(pc uint64, misses, demotions uint64, distances []uint64) *PCStats {
 	h := stats.NewHistogram(16, 16)
 	for _, d := range distances {
@@ -23,10 +33,10 @@ func TestSelectPCsPicksShortDistancePC(t *testing.T) {
 		candidate(2, 100, 50, repeat(5000, 50)),
 	}
 	chosen, rep := SelectPCs(cands, 4, 1000, 8, 1)
-	if _, ok := chosen[1]; !ok {
+	if !contains(chosen, 1) {
 		t.Fatalf("PC 1 not chosen (report %+v)", rep)
 	}
-	if _, ok := chosen[2]; ok {
+	if contains(chosen, 2) {
 		t.Fatal("hopeless PC 2 chosen")
 	}
 	if rep.Chosen != 1 || rep.Benefit == 0 {
@@ -48,7 +58,7 @@ func TestSelectPCsDilutionTradeoff(t *testing.T) {
 	if len(chosen) != 1 {
 		t.Fatalf("chose %d PCs (report %+v)", len(chosen), rep)
 	}
-	if _, ok := chosen[1]; !ok {
+	if !contains(chosen, 1) {
 		t.Fatal("wrong PC survived dilution analysis")
 	}
 }
@@ -179,9 +189,12 @@ func TestSelectPCsProperties(t *testing.T) {
 		if rep1.Chosen != len(chosen1) {
 			return false
 		}
-		for pc := range chosen1 {
+		for i, pc := range chosen1 {
 			if !seen[pc] {
 				return false // invented a PC
+			}
+			if i > 0 && chosen1[i-1] >= pc {
+				return false // not sorted ascending / has duplicates
 			}
 		}
 		return true

@@ -11,6 +11,7 @@ type UCP struct {
 	ways  int
 	umons []*UMON
 	alloc []int
+	owned []int // per-Victim scratch: lines owned per core in the set
 
 	epochAccesses uint64 // repartition period, in LLC accesses
 	sinceRepart   uint64
@@ -37,6 +38,7 @@ func NewUCP(cores, ways int, opts ...UCPOption) *UCP {
 		ways:          ways,
 		umons:         make([]*UMON, cores),
 		alloc:         make([]int, cores),
+		owned:         make([]int, cores),
 		epochAccesses: 500_000,
 	}
 	for i := range u.umons {
@@ -103,15 +105,18 @@ func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
 		return inv
 	}
 	core := u.coreOf(req)
-	owned := make([]int, u.cores)
+	owned := u.owned
+	for i := range owned {
+		owned[i] = 0
+	}
 	for i := range set.Lines {
-		owned[u.clampCore(set.Lines[i].Core)]++
+		owned[u.clampCore(int(set.Lines[i].Core))]++
 	}
 	if owned[core] < u.alloc[core] {
 		// Under quota: take the LRU line of any over-quota core.
 		for i := st.stack.Len() - 1; i >= 0; i-- {
 			w := st.stack.At(i)
-			oc := u.clampCore(set.Lines[w].Core)
+			oc := u.clampCore(int(set.Lines[w].Core))
 			if oc != core && owned[oc] > u.alloc[oc] {
 				return w
 			}
@@ -119,7 +124,7 @@ func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
 		// No over-quota owner (stale quotas): LRU among other cores.
 		for i := st.stack.Len() - 1; i >= 0; i-- {
 			w := st.stack.At(i)
-			if u.clampCore(set.Lines[w].Core) != core {
+			if u.clampCore(int(set.Lines[w].Core)) != core {
 				return w
 			}
 		}
@@ -128,7 +133,7 @@ func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
 	// At/over quota: replace own LRU line.
 	for i := st.stack.Len() - 1; i >= 0; i-- {
 		w := st.stack.At(i)
-		if u.clampCore(set.Lines[w].Core) == core {
+		if u.clampCore(int(set.Lines[w].Core)) == core {
 			return w
 		}
 	}

@@ -8,14 +8,14 @@ package policy
 type UMON struct {
 	ways        int
 	sampleShift uint
-	sets        map[int]*umonSet
+	sets        []umonSet // sampled set i lives at index i>>sampleShift
 	hits        []uint64
 	misses      uint64
 	accesses    uint64
 }
 
 type umonSet struct {
-	tags []uint64 // MRU first
+	tags []uint64 // MRU first; cap fixed at ways once allocated
 }
 
 // NewUMON returns a monitor with the given associativity, sampling one in
@@ -27,7 +27,6 @@ func NewUMON(ways int, sampleShift uint) *UMON {
 	return &UMON{
 		ways:        ways,
 		sampleShift: sampleShift,
-		sets:        make(map[int]*umonSet),
 		hits:        make([]uint64, ways),
 	}
 }
@@ -44,10 +43,15 @@ func (u *UMON) Access(setIndex int, tag uint64) {
 		return
 	}
 	u.accesses++
-	s := u.sets[setIndex]
-	if s == nil {
-		s = &umonSet{tags: make([]uint64, 0, u.ways)}
-		u.sets[setIndex] = s
+	// Dense sampled-set index: allocation-free once every sampled set has
+	// been touched (ATD tags are preallocated at full associativity).
+	i := setIndex >> u.sampleShift
+	for len(u.sets) <= i {
+		u.sets = append(u.sets, umonSet{})
+	}
+	s := &u.sets[i]
+	if s.tags == nil {
+		s.tags = make([]uint64, 0, u.ways)
 	}
 	for i, t := range s.tags {
 		if t == tag {
