@@ -121,13 +121,17 @@ func accessLoop(b *testing.B, pol cache.Policy) {
 	}
 }
 
-func BenchmarkCacheAccessLRU(b *testing.B) { accessLoop(b, policy.NewLRU()) }
-func BenchmarkCacheAccessNUcache(b *testing.B) {
+// The HotAccess* benchmarks are the per-access-path regression gate: CI
+// runs `go test -bench=Hot -benchmem` on base and head and fails on >10%
+// ns/op or allocation regressions (see .github/workflows/ci.yml and
+// cmd/benchgate). Keep the Hot prefix when adding hot-path benchmarks.
+func BenchmarkHotAccessLRU(b *testing.B) { accessLoop(b, policy.NewLRU()) }
+func BenchmarkHotAccessNUcache(b *testing.B) {
 	accessLoop(b, core.MustNew(core.DefaultConfig(16)))
 }
-func BenchmarkCacheAccessUCP(b *testing.B)  { accessLoop(b, policy.NewUCP(1, 16)) }
-func BenchmarkCacheAccessPIPP(b *testing.B) { accessLoop(b, policy.NewPIPP(1, 16, 1)) }
-func BenchmarkCacheAccessDRRIP(b *testing.B) {
+func BenchmarkHotAccessUCP(b *testing.B)  { accessLoop(b, policy.NewUCP(1, 16)) }
+func BenchmarkHotAccessPIPP(b *testing.B) { accessLoop(b, policy.NewPIPP(1, 16, 1)) }
+func BenchmarkHotAccessDRRIP(b *testing.B) {
 	accessLoop(b, policy.NewDRRIP(1))
 }
 

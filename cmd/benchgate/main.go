@@ -1,0 +1,87 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when the head run regresses against the base run. It is the enforcement
+// half of the CI benchmark gate (see .github/workflows/ci.yml): CI runs
+// the Hot* benchmarks with -count on both the merge base and the head
+// commit, then benchgate parses both logs, averages each benchmark's
+// ns/op and allocs/op across repetitions, and exits non-zero if any
+// benchmark got more than -threshold slower or started allocating more.
+//
+// Benchmarks present only in head are reported as new and never gated
+// (there is nothing to compare against); benchmarks present only in base
+// are reported as removed but do not fail the gate either — deleting a
+// benchmark is a review concern, not a perf regression.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt [-threshold 0.10] [-out compare.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	base := flag.String("base", "", "bench output of the base commit (required)")
+	head := flag.String("head", "", "bench output of the head commit (required)")
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed fractional ns/op regression")
+	out := flag.String("out", "", "write the JSON comparison report here (optional)")
+	flag.Parse()
+
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseRuns, err := parseFile(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	headRuns, err := parseFile(*head)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(headRuns) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s\n", *head)
+		os.Exit(2)
+	}
+
+	report := Compare(baseRuns, headRuns, *threshold)
+
+	for _, r := range report.Results {
+		fmt.Println(r.String())
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(report.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %d benchmark(s) regressed beyond %.0f%%\n",
+			len(report.Regressions), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d compared, %d new, threshold %.0f%%)\n",
+		report.Compared, report.New, *threshold*100)
+}
+
+func parseFile(path string) (map[string]*Aggregate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data)), nil
+}
