@@ -32,10 +32,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		mixLimit = flag.Int("mixlimit", 0, "truncate the 4-core mix list (0 = all)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU, 1 = sequential)")
+		jobTO    = flag.Duration("jobtimeout", 0, "per-(mix,policy) deadline; a stuck pair fails instead of hanging the sweep (0 = none)")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Budget: *budget, Seed: *seed, MixLimit: *mixLimit, Parallel: *parallel}
+	o := experiments.Options{
+		Budget: *budget, Seed: *seed, MixLimit: *mixLimit,
+		Parallel: *parallel, JobTimeout: *jobTO,
+	}
 	sweeps := map[string]func(experiments.Options) *experiments.SweepResult{
 		"deliways":  experiments.DeliWaysSweep,
 		"ablations": experiments.PCCountSweep,

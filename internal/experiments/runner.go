@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"nucache/internal/cache"
 	"nucache/internal/core"
@@ -46,6 +47,10 @@ type Options struct {
 	// byte-identical regardless of this setting because each pair is an
 	// independent deterministic simulation collected in submission order.
 	Parallel int
+	// JobTimeout bounds each scheduler-backed (mix, policy) evaluation
+	// (0 = no deadline). A pair exceeding it fails the grid with a
+	// deadline error instead of hanging the whole experiment.
+	JobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -276,7 +281,13 @@ func (o Options) mixKey(m workload.Mix, spec PolicySpec) string {
 // simulation, so the grid is identical to nested sequential mixMetrics
 // calls. Simulation panics surface as panics, as they would sequentially.
 func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]MixMetrics {
-	sched := sim.NewScheduler(o.Parallel, gridCache)
+	// Deadlines pass through to every pair; the queue stays unbounded
+	// because the grid submits all pairs up front by design.
+	sched := sim.NewSchedulerWith(sim.SchedulerConfig{
+		Workers:        o.Parallel,
+		Cache:          gridCache,
+		DefaultTimeout: o.JobTimeout,
+	})
 	jobs := make([]sim.Job, 0, len(mixes)*len(specs))
 	for _, m := range mixes {
 		for _, s := range specs {

@@ -6,22 +6,31 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache is a content-addressed result store: an in-memory LRU over
 // JSON-encoded values, optionally backed by an on-disk JSON store that
 // survives restarts. Values round-trip through encoding/json, which is
 // exact for float64, so a cached result is byte-identical to a fresh one.
+//
+// The disk tier self-heals: a corrupt entry (truncated write, bit rot)
+// is quarantined on first read so it is never re-read and re-rejected,
+// and a failing disk (read-only remount, volume full) degrades the
+// cache to memory-only mode with a logged warning instead of failing
+// requests.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	dir     string     // "" disables the disk tier
+	diskOK  atomic.Bool
 }
 
 type cacheEntry struct {
@@ -36,12 +45,14 @@ func NewCache(capacity int, dir string) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	c := &Cache{
 		cap:     capacity,
 		entries: map[string]*list.Element{},
 		order:   list.New(),
 		dir:     dir,
 	}
+	c.diskOK.Store(true)
+	return c
 }
 
 // Len reports the in-memory entry count.
@@ -51,50 +62,116 @@ func (c *Cache) Len() int {
 	return c.order.Len()
 }
 
+// DiskHealthy reports whether the disk tier is still accepting writes.
+// It is true for memory-only caches (nothing to be unhealthy about) and
+// flips to false permanently once a disk write fails, at which point the
+// cache serves from memory only.
+func (c *Cache) DiskHealthy() bool { return c.dir == "" || c.diskOK.Load() }
+
+// Persistent reports whether a disk tier was configured.
+func (c *Cache) Persistent() bool { return c.dir != "" }
+
 // Get looks the key up (memory first, then disk) and decodes the stored
-// value into `into` (a pointer). A disk hit is promoted into memory.
+// value into `into` (a pointer). A disk hit is promoted into memory. A
+// disk entry that fails to decode is quarantined so the next lookup for
+// the key recomputes instead of re-reading the corrupt file forever.
 func (c *Cache) Get(key string, into any) bool {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
-		return json.Unmarshal(data, into) == nil
+		if json.Unmarshal(data, into) == nil {
+			return true
+		}
+		// Memory entries are written by Put and should never be corrupt;
+		// drop the entry anyway so a decode mismatch (e.g. a changed
+		// result schema) heals by recomputation instead of recurring.
+		c.evict(key, el)
+		return false
 	}
 	c.mu.Unlock()
 	if c.dir == "" {
 		return false
 	}
-	data, err := os.ReadFile(c.diskPath(key))
-	if err != nil || json.Unmarshal(data, into) != nil {
+	path := c.diskPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		c.quarantine(path, err)
 		return false
 	}
 	c.putBytes(key, data)
 	return true
 }
 
+// evict removes a known-bad memory entry, tolerating concurrent
+// replacement (only the exact element observed corrupt is removed).
+func (c *Cache) evict(key string, el *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		c.order.Remove(cur)
+		delete(c.entries, key)
+	}
+}
+
+// quarantine moves a corrupt disk entry aside (or deletes it if even
+// that fails) so it is inspected at most once. Counted in
+// nucache_cache_quarantined.
+func (c *Cache) quarantine(path string, cause error) {
+	CacheQuarantined.Add(1)
+	qpath := path + ".quarantined"
+	if err := os.Rename(path, qpath); err != nil {
+		// Read-only disk or concurrent removal: removing is best
+		// effort too; a persistent failure just means one wasted
+		// re-read per restart, never a wrong result.
+		_ = os.Remove(path)
+		qpath = "(removed)"
+	}
+	slog.Warn("sim cache: quarantined corrupt entry",
+		"path", path, "moved_to", qpath, "error", cause.Error())
+}
+
 // Put stores a JSON-marshalable value under the key, evicting the
 // least-recently-used in-memory entry past capacity and writing through
-// to the disk tier when enabled.
+// to the disk tier when enabled. A disk-tier failure (unwritable or
+// full volume) degrades the cache to memory-only mode — logged once,
+// counted in nucache_cache_disk_errors — and is not reported as an
+// error: the in-memory store succeeded and the caller's result is
+// valid.
 func (c *Cache) Put(key string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sim: cache encode: %w", err)
 	}
 	c.putBytes(key, data)
-	if c.dir != "" {
-		path := c.diskPath(key)
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			return err
+	if c.dir == "" || !c.diskOK.Load() {
+		return nil
+	}
+	if err := c.writeDisk(key, data); err != nil {
+		CacheDiskErrors.Add(1)
+		if c.diskOK.CompareAndSwap(true, false) {
+			slog.Warn("sim cache: disk tier failed; degrading to memory-only mode",
+				"dir", c.dir, "error", err.Error())
 		}
-		// Write-then-rename keeps readers from seeing partial files.
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return err
-		}
-		return os.Rename(tmp, path)
 	}
 	return nil
+}
+
+func (c *Cache) writeDisk(key string, data []byte) error {
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename keeps readers from seeing partial files.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func (c *Cache) putBytes(key string, data []byte) {

@@ -8,16 +8,34 @@ import "expvar"
 var (
 	// JobsQueued counts jobs submitted to any scheduler.
 	JobsQueued = expvar.NewInt("nucache_jobs_queued")
-	// JobsRunning is the number of jobs executing right now (gauge).
+	// JobsRunning is the number of jobs executing right now (gauge). It
+	// can briefly exceed the worker count: a deadline-killed job frees
+	// its slot while the abandoned run drains in the background.
 	JobsRunning = expvar.NewInt("nucache_jobs_running")
 	// JobsDone counts jobs that completed successfully (cache hits
 	// excluded — those never ran).
 	JobsDone = expvar.NewInt("nucache_jobs_done")
-	// JobsFailed counts jobs that returned an error or panicked.
+	// JobsFailed counts jobs whose final attempt returned an error,
+	// panicked, was shed, or exceeded its deadline.
 	JobsFailed = expvar.NewInt("nucache_jobs_failed")
-	// CacheHits / CacheMisses count content-addressed result lookups.
+	// JobsShed counts jobs rejected because the admission queue was
+	// full (KindOverload; HTTP 429 at the serving layer).
+	JobsShed = expvar.NewInt("nucache_jobs_shed")
+	// JobsRetried counts re-executions of transiently failed jobs.
+	JobsRetried = expvar.NewInt("nucache_jobs_retried")
+	// DeadlineKills counts jobs abandoned at their deadline.
+	DeadlineKills = expvar.NewInt("nucache_deadline_kills")
+	// QueueDepth is the number of jobs waiting for a worker slot (gauge).
+	QueueDepth = expvar.NewInt("nucache_queue_depth")
+	// CacheHits / CacheMisses count content-addressed result lookups;
+	// in-flight-deduplicated waiters count one miss per key resolution.
 	CacheHits   = expvar.NewInt("nucache_cache_hits")
 	CacheMisses = expvar.NewInt("nucache_cache_misses")
+	// CacheQuarantined counts corrupt disk-cache entries moved aside.
+	CacheQuarantined = expvar.NewInt("nucache_cache_quarantined")
+	// CacheDiskErrors counts disk-tier write failures (the first one
+	// degrades that cache to memory-only mode).
+	CacheDiskErrors = expvar.NewInt("nucache_cache_disk_errors")
 	// InstructionsRetired totals simulated instructions across all runs.
 	InstructionsRetired = expvar.NewInt("nucache_sim_instructions")
 	// WallNanos totals wall-clock nanoseconds spent executing jobs.

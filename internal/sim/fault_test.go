@@ -1,0 +1,574 @@
+package sim
+
+// Fault-injection suite: slow, failing and panicking jobs, corrupted
+// and unwritable cache directories, abandoned streams and saturated
+// queues. Each test proves one degradation path of the serving layer —
+// the system must degrade (shed, retry, quarantine, go memory-only),
+// never hang or serve a wrong result.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- deadlines ---
+
+func TestSchedulerDeadlineFreesWorkerSlot(t *testing.T) {
+	s := NewSchedulerWith(SchedulerConfig{Workers: 1})
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+
+	killsBefore := DeadlineKills.Value()
+	out := s.Do(context.Background(), Job{
+		Label:   "runaway",
+		Timeout: 20 * time.Millisecond,
+		Run: func(context.Context) (any, error) {
+			<-release // simulates a simulation that never finishes
+			return nil, nil
+		},
+	})
+	if out.Err == nil {
+		t.Fatal("runaway job did not report an error")
+	}
+	if Classify(out.Err) != KindDeadline || !errors.Is(out.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error misclassified: %v (kind %s)", out.Err, Classify(out.Err))
+	}
+	if DeadlineKills.Value() != killsBefore+1 {
+		t.Fatalf("deadline kill not counted: %d -> %d", killsBefore, DeadlineKills.Value())
+	}
+
+	// The single worker slot must be free again even though the runaway
+	// body is still blocked: a fresh job has to complete promptly.
+	done := make(chan Outcome, 1)
+	go func() {
+		done <- s.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+			return "alive", nil
+		}})
+	}()
+	select {
+	case o := <-done:
+		if o.Err != nil || o.Value != "alive" {
+			t.Fatalf("follow-up job on freed slot: %+v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker slot still occupied after deadline kill")
+	}
+}
+
+func TestSchedulerDefaultTimeoutApplies(t *testing.T) {
+	s := NewSchedulerWith(SchedulerConfig{Workers: 1, DefaultTimeout: 15 * time.Millisecond})
+	out := s.Do(context.Background(), Job{Run: func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, nil
+		}
+	}})
+	if Classify(out.Err) != KindDeadline {
+		t.Fatalf("default deadline not enforced: %+v", out)
+	}
+}
+
+// --- backpressure ---
+
+func TestSchedulerShedsWhenQueueFull(t *testing.T) {
+	s := NewSchedulerWith(SchedulerConfig{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blocking := func(context.Context) (any, error) { <-release; return "ok", nil }
+
+	// Occupy the single worker, then fill the one queue slot.
+	running := make(chan struct{})
+	worker := make(chan Outcome, 1)
+	go func() {
+		worker <- s.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+			close(running)
+			<-release
+			return "ok", nil
+		}})
+	}()
+	<-running
+	queued := make(chan Outcome, 1)
+	go func() { queued <- s.Do(context.Background(), Job{Run: blocking}) }()
+	waitFor(t, func() bool { return s.QueueLen() == 1 })
+
+	shedBefore := JobsShed.Value()
+	out := s.Do(context.Background(), Job{Label: "excess", Run: blocking})
+	if !errors.Is(out.Err, ErrOverloaded) || Classify(out.Err) != KindOverload {
+		t.Fatalf("expected overload error, got %v (kind %s)", out.Err, Classify(out.Err))
+	}
+	if JobsShed.Value() != shedBefore+1 {
+		t.Fatal("shed not counted")
+	}
+	if !s.Saturated() {
+		t.Fatal("Saturated() false with a full queue")
+	}
+
+	close(release)
+	if o := <-worker; o.Err != nil {
+		t.Fatalf("blocked worker job: %v", o.Err)
+	}
+	if o := <-queued; o.Err != nil {
+		t.Fatalf("queued job must run once the worker frees: %v", o.Err)
+	}
+	if s.QueueLen() != 0 || s.Saturated() {
+		t.Fatalf("queue did not drain: len %d", s.QueueLen())
+	}
+}
+
+// --- retries ---
+
+func TestSchedulerRetriesTransientFailures(t *testing.T) {
+	s := NewSchedulerWith(SchedulerConfig{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond},
+	})
+	var runs atomic.Int64
+	retriedBefore := JobsRetried.Value()
+	out := s.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+		if runs.Add(1) < 3 {
+			return nil, fmt.Errorf("transient network-ish failure")
+		}
+		return "recovered", nil
+	}})
+	if out.Err != nil || out.Value != "recovered" {
+		t.Fatalf("retry did not recover: %+v", out)
+	}
+	if out.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("attempts %d, runs %d, want 3", out.Attempts, runs.Load())
+	}
+	if JobsRetried.Value() != retriedBefore+2 {
+		t.Fatalf("retries counted %d, want 2", JobsRetried.Value()-retriedBefore)
+	}
+
+	// Exhausted budget: transient failure every time.
+	runs.Store(0)
+	out = s.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+		runs.Add(1)
+		return nil, fmt.Errorf("always down")
+	}})
+	if out.Err == nil || out.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("exhausted retry: %+v after %d runs", out, runs.Load())
+	}
+}
+
+func TestSchedulerNeverRetriesPanicsOrDeadlines(t *testing.T) {
+	s := NewSchedulerWith(SchedulerConfig{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond},
+	})
+	var panics atomic.Int64
+	out := s.Do(context.Background(), Job{Label: "bad", Run: func(context.Context) (any, error) {
+		panics.Add(1)
+		panic("deterministic bug")
+	}})
+	if Classify(out.Err) != KindPanic {
+		t.Fatalf("panic kind: %v", out.Err)
+	}
+	if panics.Load() != 1 || out.Attempts != 1 {
+		t.Fatalf("panicking job retried: %d runs, %d attempts", panics.Load(), out.Attempts)
+	}
+
+	var slowRuns atomic.Int64
+	out = s.Do(context.Background(), Job{
+		Timeout: 10 * time.Millisecond,
+		Run: func(context.Context) (any, error) {
+			slowRuns.Add(1)
+			time.Sleep(150 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	if Classify(out.Err) != KindDeadline {
+		t.Fatalf("deadline kind: %v", out.Err)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("deadline-killed job retried: %d attempts", out.Attempts)
+	}
+	waitFor(t, func() bool { return slowRuns.Load() == 1 })
+}
+
+// --- goroutine-leak regression for abandoned streams ---
+
+func TestRunStreamAbandonedStreamNoGoroutineLeak(t *testing.T) {
+	s := NewScheduler(2, nil)
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Run: func(context.Context) (any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return i, nil
+		}}
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := s.RunStream(ctx, jobs)
+	<-ch     // consume one event, like a client that read a line then died
+	cancel() // the HTTP server cancels r.Context() on disconnect
+	// Deliberately never read from ch again. Every sender must still
+	// exit: each send selects on ctx.Done().
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after abandoned stream: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// --- Scheduler.Do cancellation paths (all exercised under -race in CI) ---
+
+func TestDoCancelledWhileWaitingOnDuplicate(t *testing.T) {
+	s := NewScheduler(2, NewCache(16, ""))
+	release := make(chan struct{})
+	started := make(chan struct{})
+	owner := make(chan Outcome, 1)
+	job := Job{
+		Key: "dup-cancel",
+		New: func() any { return new(int) },
+		Run: func(context.Context) (any, error) {
+			close(started)
+			<-release
+			n := 5
+			return &n, nil
+		},
+	}
+	go func() { owner <- s.Do(context.Background(), job) }()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan Outcome, 1)
+	go func() { waiter <- s.Do(ctx, job) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the in-flight channel
+	cancel()
+	select {
+	case o := <-waiter:
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("waiter outcome: %+v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter stuck on in-flight duplicate")
+	}
+
+	close(release)
+	if o := <-owner; o.Err != nil || *o.Value.(*int) != 5 {
+		t.Fatalf("owner must be unaffected: %+v", o)
+	}
+}
+
+func TestDoOwnerFailureWaiterReclaims(t *testing.T) {
+	s := NewScheduler(2, NewCache(16, ""))
+	ownerRelease := make(chan struct{})
+	ownerStarted := make(chan struct{})
+	var runs atomic.Int64
+	missesBefore := CacheMisses.Value()
+	job := func(fail bool) Job {
+		return Job{
+			Key: "reclaim-key",
+			New: func() any { return new(int) },
+			Run: func(context.Context) (any, error) {
+				if runs.Add(1) == 1 {
+					close(ownerStarted)
+					<-ownerRelease
+					if fail {
+						return nil, fmt.Errorf("owner lost its disk")
+					}
+				}
+				n := 77
+				return &n, nil
+			},
+		}
+	}
+	owner := make(chan Outcome, 1)
+	go func() { owner <- s.Do(context.Background(), job(true)) }()
+	<-ownerStarted
+	waiter := make(chan Outcome, 1)
+	go func() { waiter <- s.Do(context.Background(), job(true)) }()
+	time.Sleep(10 * time.Millisecond) // park the waiter behind the owner
+	close(ownerRelease)
+
+	if o := <-owner; o.Err == nil {
+		t.Fatalf("owner was injected to fail: %+v", o)
+	}
+	o := <-waiter
+	if o.Err != nil || *o.Value.(*int) != 77 {
+		t.Fatalf("waiter reclaim outcome: %+v", o)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("body ran %d times, want 2 (owner + reclaiming waiter)", runs.Load())
+	}
+	// One logical key resolution = one recorded miss, even though the
+	// waiter re-claimed ownership after the owner failed.
+	if got := CacheMisses.Value() - missesBefore; got != 1 {
+		t.Fatalf("misses for one key resolution: %d, want 1", got)
+	}
+}
+
+// --- self-healing cache: corruption ---
+
+func TestCacheQuarantinesCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(4, dir)
+	key := Request{Bench: "art-like", Budget: 123_456}.Key()
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated JSON write, as left by a crash mid-write or bit rot.
+	if err := os.WriteFile(path, []byte(`{"mix":"mix4-01","per_co`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	qBefore := CacheQuarantined.Value()
+	var into Result
+	if c.Get(key, &into) {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if CacheQuarantined.Value() != qBefore+1 {
+		t.Fatal("quarantine not counted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still in place: %v", err)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+
+	// Exactly once: the next lookup is a plain miss, no re-quarantine.
+	if c.Get(key, &into) {
+		t.Fatal("second lookup hit")
+	}
+	if CacheQuarantined.Value() != qBefore+1 {
+		t.Fatal("entry quarantined more than once")
+	}
+
+	// The key heals: a fresh Put lands and serves.
+	if err := c.Put(key, Result{Mix: "healed"}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(4, dir) // fresh cache, forces the disk read path
+	if !c2.Get(key, &into) || into.Mix != "healed" {
+		t.Fatalf("healed entry not served: %+v", into)
+	}
+}
+
+func TestSchedulerRecomputesPastCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewCache(4, dir)
+	s := NewScheduler(2, cache)
+	type payload struct{ N int }
+	key := strings.Repeat("ab", 32) // valid hex key
+	path := cache.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"N": 1e`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Key: key,
+		New: func() any { return new(payload) },
+		Run: func(context.Context) (any, error) { return &payload{N: 9}, nil },
+	}
+	out := s.Do(context.Background(), job)
+	if out.Err != nil || out.Cached || out.Value.(*payload).N != 9 {
+		t.Fatalf("recompute past corruption: %+v", out)
+	}
+	out = s.Do(context.Background(), job)
+	if out.Err != nil || !out.Cached || out.Value.(*payload).N != 9 {
+		t.Fatalf("healed key must now hit: %+v", out)
+	}
+}
+
+// --- self-healing cache: unwritable disk ---
+
+// brokenDir returns a path that cannot be created even by root: its
+// parent is a regular file, so MkdirAll fails with ENOTDIR. (chmod-based
+// fixtures are useless in containers that run tests as root.)
+func brokenDir(t *testing.T) string {
+	t.Helper()
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(blocker, "cache")
+}
+
+func TestCacheDegradesToMemoryOnlyOnDiskFailure(t *testing.T) {
+	c := NewCache(8, brokenDir(t))
+	if !c.DiskHealthy() {
+		t.Fatal("disk marked unhealthy before any write")
+	}
+	errsBefore := CacheDiskErrors.Value()
+	type v struct{ S string }
+	if err := c.Put("k", v{S: "kept"}); err != nil {
+		t.Fatalf("Put must not fail the request on a dead disk: %v", err)
+	}
+	if c.DiskHealthy() {
+		t.Fatal("disk still healthy after write failure")
+	}
+	if CacheDiskErrors.Value() != errsBefore+1 {
+		t.Fatal("disk error not counted")
+	}
+	var got v
+	if !c.Get("k", &got) || got.S != "kept" {
+		t.Fatalf("memory tier lost the value: %+v", got)
+	}
+	// Degraded mode short-circuits: further writes never touch the disk
+	// (or the error counter) again.
+	if err := c.Put("k2", v{S: "also kept"}); err != nil {
+		t.Fatal(err)
+	}
+	if CacheDiskErrors.Value() != errsBefore+1 {
+		t.Fatal("degraded cache kept hammering the dead disk")
+	}
+	if !c.Get("k2", &got) || got.S != "also kept" {
+		t.Fatalf("second value lost: %+v", got)
+	}
+}
+
+func TestServingSurvivesUnwritableCacheDir(t *testing.T) {
+	sched := NewScheduler(2, NewCache(8, brokenDir(t)))
+	ts := httptest.NewServer(NewServer(sched).Handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"bench":"art-like","budget":60000}`
+	for i, wantCached := range []bool{false, true} {
+		resp := postJSON(t, ts.URL+"/v1/sim", body)
+		var sr SimResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d failed with %d on a dead disk", i, resp.StatusCode)
+		}
+		if sr.Cached != wantCached {
+			t.Fatalf("request %d cached=%v, want %v (memory tier must keep serving)",
+				i, sr.Cached, wantCached)
+		}
+	}
+
+	// The degradation is visible on /healthz, not only in logs.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status    string `json:"status"`
+		CacheDisk string `json:"cache_disk"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.CacheDisk != "degraded" {
+		t.Fatalf("healthz %+v, want status ok + cache_disk degraded", health)
+	}
+}
+
+// --- HTTP failure contract ---
+
+func TestServerShedsWith429AndRetryAfter(t *testing.T) {
+	sched := NewSchedulerWith(SchedulerConfig{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(NewServer(sched).Handler())
+	t.Cleanup(ts.Close)
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	running := make(chan struct{})
+	go sched.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+		close(running)
+		<-release
+		return nil, nil
+	}})
+	<-running
+	go sched.Do(context.Background(), Job{Run: func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}})
+	waitFor(t, func() bool { return sched.Saturated() })
+
+	resp := postJSON(t, ts.URL+"/v1/sim", `{"bench":"art-like","budget":50000}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var errBody struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	if errBody.Kind != "overload" || errBody.Error == "" {
+		t.Fatalf("error body %+v", errBody)
+	}
+
+	// Sweeps are shed whole, before the NDJSON stream starts.
+	sw := postJSON(t, ts.URL+"/v1/sweep", `{"mixes":["mix2-01"],"policies":["LRU"],"budget":50000}`)
+	defer sw.Body.Close()
+	if sw.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep returned %d, want 429", sw.StatusCode)
+	}
+	if sw.Header.Get("Retry-After") == "" {
+		t.Fatal("sweep 429 without Retry-After")
+	}
+}
+
+func TestServerDeadlineReturns504(t *testing.T) {
+	ts := newTestServer(t)
+	// A deliberately large budget with a 1ms deadline: the kill must be
+	// reported as 504/deadline while the worker slot frees immediately.
+	resp := postJSON(t, ts.URL+"/v1/sim",
+		`{"mix":"mix4-01","budget":2000000,"timeout_ms":1}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	if errBody.Kind != "deadline" || !strings.Contains(errBody.Error, "deadline") {
+		t.Fatalf("error body %+v", errBody)
+	}
+}
+
+func TestServerRejectsNegativeTimeout(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/sim", `{"bench":"art-like","timeout_ms":-5}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond until true or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"time"
 
 	"nucache/internal/workload"
 )
@@ -38,6 +39,12 @@ type Request struct {
 	Prefetch int `json:"prefetch,omitempty"`
 	// Warmup excludes each core's first N instructions from statistics.
 	Warmup uint64 `json:"warmup,omitempty"`
+	// TimeoutMS is a serving knob: the per-request deadline override in
+	// milliseconds (0 = the server default). It bounds how long the
+	// caller will wait, not what is simulated, so it is deliberately
+	// excluded from Canonical()/Key(): the same simulation requested
+	// with different deadlines shares one cache entry.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Normalize fills defaulted fields so that equivalent requests compare
@@ -79,6 +86,9 @@ func (r Request) Validate() error {
 	}
 	if r.Prefetch < 0 {
 		return fmt.Errorf("sim: negative prefetch degree")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("sim: negative timeout_ms")
 	}
 	return nil
 }
@@ -151,13 +161,15 @@ func (r Request) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// JobFor wraps a request as a schedulable, cacheable job.
+// JobFor wraps a request as a schedulable, cacheable job. The request's
+// TimeoutMS (if any) becomes the job deadline.
 func JobFor(req Request) Job {
 	req = req.Normalize()
 	return Job{
-		Key:   req.Key(),
-		Label: req.Canonical(),
-		New:   func() any { return new(Result) },
+		Key:     req.Key(),
+		Label:   req.Canonical(),
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		New:     func() any { return new(Result) },
 		Run: func(ctx context.Context) (any, error) {
 			return Execute(ctx, req)
 		},

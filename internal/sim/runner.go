@@ -19,7 +19,9 @@ import (
 func Execute(ctx context.Context, req Request) (*Result, error) {
 	req = req.Normalize()
 	if err := req.Validate(); err != nil {
-		return nil, err
+		// Validation failures are permanently invalid: never retried,
+		// HTTP 400 at the serving layer.
+		return nil, invalid(err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
 
 	"nucache/internal/workload"
 )
@@ -12,19 +15,48 @@ import (
 // Server exposes the scheduler over HTTP. Handlers are stdlib-only and
 // mounted by Handler(); cmd/nucache-serve wraps this in an http.Server
 // with graceful shutdown.
+//
+// Failure contract: requests shed by the admission queue return
+// 429 Too Many Requests with a Retry-After header; jobs killed by their
+// deadline return 504 Gateway Timeout; invalid requests 400; everything
+// else 500. Error bodies are {"error": ..., "kind": ...} with kind from
+// the ErrKind taxonomy.
 type Server struct {
-	sched *Scheduler
+	sched      *Scheduler
+	log        *slog.Logger
+	retryAfter time.Duration
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithLogger sets the structured per-request logger (default
+// slog.Default()).
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(sv *Server) { sv.log = l }
+}
+
+// WithRetryAfter sets the Retry-After hint returned with 429 responses
+// (default 1s, rounded up to whole seconds on the wire).
+func WithRetryAfter(d time.Duration) ServerOption {
+	return func(sv *Server) { sv.retryAfter = d }
 }
 
 // NewServer builds a server on top of a scheduler.
-func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
+func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
+	sv := &Server{sched: sched, log: slog.Default(), retryAfter: time.Second}
+	for _, o := range opts {
+		o(sv)
+	}
+	return sv
+}
 
 // Handler returns the route table:
 //
 //	POST /v1/sim      run (or fetch) one simulation, JSON in/out
 //	POST /v1/sweep    fan a mixes×policies sweep across the pool (NDJSON)
 //	GET  /v1/catalog  benchmarks, standard mixes, policies
-//	GET  /healthz     liveness
+//	GET  /healthz     liveness + degradation state
 //	GET  /debug/vars  expvar counters
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -37,13 +69,14 @@ func (sv *Server) Handler() http.Handler {
 }
 
 // SimResponse is the POST /v1/sim envelope. Result is deterministic and
-// content-addressed by Key; Cached and WallNS describe this particular
-// serving of it.
+// content-addressed by Key; Cached, Attempts and WallNS describe this
+// particular serving of it.
 type SimResponse struct {
-	Key    string  `json:"key"`
-	Cached bool    `json:"cached"`
-	WallNS int64   `json:"wall_ns"`
-	Result *Result `json:"result"`
+	Key      string  `json:"key"`
+	Cached   bool    `json:"cached"`
+	Attempts int     `json:"attempts,omitempty"`
+	WallNS   int64   `json:"wall_ns"`
+	Result   *Result `json:"result"`
 }
 
 func (sv *Server) handleSim(w http.ResponseWriter, r *http.Request) {
@@ -57,16 +90,70 @@ func (sv *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := sv.sched.Do(r.Context(), JobFor(req))
+	sv.logJob(r, "sim", req, out)
 	if out.Err != nil {
-		httpError(w, http.StatusInternalServerError, out.Err)
+		sv.jobError(w, out.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SimResponse{
-		Key:    req.Key(),
-		Cached: out.Cached,
-		WallNS: out.Wall.Nanoseconds(),
-		Result: out.Value.(*Result),
+		Key:      req.Key(),
+		Cached:   out.Cached,
+		Attempts: out.Attempts,
+		WallNS:   out.Wall.Nanoseconds(),
+		Result:   out.Value.(*Result),
 	})
+}
+
+// logJob emits one structured log line per job served.
+func (sv *Server) logJob(r *http.Request, route string, req Request, out Outcome) {
+	attrs := []any{
+		"route", route,
+		"remote", r.RemoteAddr,
+		"key", req.Key(),
+		"bench", req.Bench,
+		"mix", req.Mix,
+		"policy", req.Policy,
+		"cached", out.Cached,
+		"attempts", out.Attempts,
+		"wall_ms", out.Wall.Milliseconds(),
+	}
+	if out.Err != nil {
+		attrs = append(attrs, "error", out.Err.Error(), "kind", Classify(out.Err).String())
+		sv.log.Warn("job failed", attrs...)
+		return
+	}
+	sv.log.Info("job served", attrs...)
+}
+
+// jobError writes a failed outcome using the taxonomy's HTTP mapping.
+func (sv *Server) jobError(w http.ResponseWriter, err error) {
+	kind := Classify(err)
+	status := http.StatusInternalServerError
+	switch kind {
+	case KindInvalid:
+		status = http.StatusBadRequest
+	case KindOverload:
+		status = http.StatusTooManyRequests
+		sv.setRetryAfter(w)
+	case KindDeadline:
+		status = http.StatusGatewayTimeout
+	case KindCanceled:
+		// The client went away; 499 (nginx convention) is recorded in
+		// logs even though nobody reads the response.
+		status = 499
+	}
+	writeJSON(w, status, map[string]string{
+		"error": err.Error(),
+		"kind":  kind.String(),
+	})
+}
+
+func (sv *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(sv.retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // SweepRequest describes a fan-out: every listed mix under every listed
@@ -87,6 +174,10 @@ type SweepRequest struct {
 	L2       bool   `json:"l2,omitempty"`
 	DRAM     bool   `json:"dram,omitempty"`
 	Prefetch int    `json:"prefetch,omitempty"`
+	// TimeoutMS overrides the per-job deadline for every job in the
+	// sweep (0 = server default). Serving knob only; never part of the
+	// result's content address.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // expand turns the sweep into concrete requests, mix-major.
@@ -111,6 +202,7 @@ func (sw SweepRequest) expand() ([]Request, error) {
 				Mix: m, Policy: p,
 				Budget: sw.Budget, Seed: sw.Seed, DeliWays: sw.DeliWays,
 				L2: sw.L2, DRAM: sw.DRAM, Prefetch: sw.Prefetch,
+				TimeoutMS: sw.TimeoutMS,
 			}.Normalize()
 			if err := req.Validate(); err != nil {
 				return nil, err
@@ -131,6 +223,7 @@ type SweepEvent struct {
 	Key    string  `json:"key,omitempty"`
 	Cached bool    `json:"cached,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	Kind   string  `json:"kind,omitempty"` // error taxonomy kind, set with Error
 	Result *Result `json:"result,omitempty"`
 	// Summary fields (type "done").
 	Total  int `json:"total,omitempty"`
@@ -147,6 +240,17 @@ func (sv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Shed the whole sweep up front while headers can still say so;
+	// jobs shed mid-stream surface as overload error events instead.
+	if sv.sched.Saturated() {
+		JobsShed.Add(int64(len(reqs)))
+		sv.setRetryAfter(w)
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": ErrOverloaded.Error(),
+			"kind":  KindOverload.String(),
+		})
+		return
+	}
 	jobs := make([]Job, len(reqs))
 	for i, req := range reqs {
 		jobs[i] = JobFor(req)
@@ -158,12 +262,14 @@ func (sv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	failed := 0
 	writable := true
 	for io := range sv.sched.RunStream(r.Context(), jobs) {
+		sv.logJob(r, "sweep", reqs[io.Index], io.Outcome)
 		if io.Outcome.Err != nil {
 			failed++
 		}
 		if !writable {
-			// Client went away; keep draining so every job completes
-			// and warms the cache for the retry.
+			// Client went away; keep draining so in-flight jobs complete
+			// and warm the cache for the retry. (RunStream itself stops
+			// once the request context is cancelled.)
 			continue
 		}
 		req := reqs[io.Index]
@@ -174,6 +280,7 @@ func (sv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if io.Outcome.Err != nil {
 			ev.Error = io.Outcome.Err.Error()
+			ev.Kind = Classify(io.Outcome.Err).String()
 		} else {
 			ev.Result = io.Outcome.Value.(*Result)
 		}
@@ -227,10 +334,22 @@ func (sv *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": sv.sched.Workers(),
-	})
+	health := map[string]any{
+		"status":      "ok",
+		"workers":     sv.sched.Workers(),
+		"queue_depth": sv.sched.QueueLen(),
+		"queue_cap":   sv.sched.QueueCap(),
+	}
+	if c := sv.sched.Cache(); c != nil && c.Persistent() {
+		if c.DiskHealthy() {
+			health["cache_disk"] = "ok"
+		} else {
+			// Still serving (memory-only); surfaced so operators see the
+			// degradation without grepping logs.
+			health["cache_disk"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 // maxBodyBytes bounds request bodies; sweep specs are small.

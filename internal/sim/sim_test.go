@@ -229,7 +229,9 @@ func TestSchedulerCacheAndDedup(t *testing.T) {
 			},
 		}
 	}
-	// Concurrent identical jobs: in-flight dedup runs the body once.
+	// Concurrent identical jobs: in-flight dedup runs the body once and
+	// records exactly one miss for the single logical key resolution.
+	missesBefore := CacheMisses.Value()
 	outs := s.RunAll(context.Background(), []Job{mk(), mk(), mk(), mk()})
 	for i, o := range outs {
 		if o.Err != nil || o.Value.(*payload).N != 42 {
@@ -238,6 +240,9 @@ func TestSchedulerCacheAndDedup(t *testing.T) {
 	}
 	if got := runs.Load(); got != 1 {
 		t.Fatalf("body ran %d times under dedup", got)
+	}
+	if got := CacheMisses.Value() - missesBefore; got != 1 {
+		t.Fatalf("dedup recorded %d misses for one key resolution, want 1", got)
 	}
 	// A later identical submission hits the cache without running.
 	hitsBefore := CacheHits.Value()
