@@ -135,6 +135,34 @@ func BenchmarkHotAccessDRRIP(b *testing.B) {
 	accessLoop(b, policy.NewDRRIP(1))
 }
 
+// BenchmarkHotReplayStep measures the replay half of the record/replay
+// engine: one fully recorded single-core tape, replayed under a fresh
+// LRU LLC each iteration. Also reports ns/event (LLC-bound events per
+// replay are fixed, so the two metrics move together); the CI bench gate
+// watches ns/op like the other Hot benchmarks.
+func BenchmarkHotReplayStep(b *testing.B) {
+	cfg := cpu.DefaultConfig(1)
+	cfg.InstrBudget = 200_000
+	tape := cpu.NewTape(cfg, workload.MustByName("ammp-like").Stream(1))
+	var events uint64
+	run := func() {
+		rs := cpu.NewReplaySystem(cfg, policy.NewLRU(), []*cpu.Tape{tape})
+		res, err := rs.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res[0].LLCAccesses
+	}
+	run() // record the tape outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	}
+}
+
 // BenchmarkSystemThroughput measures end-to-end simulated accesses/sec of
 // the full hierarchy on a real workload model.
 func BenchmarkSystemThroughput(b *testing.B) {

@@ -132,4 +132,25 @@ func TestSimEndpoint(t *testing.T) {
 	if len(env.Key) != 64 || env.Result.Policy != "NUcache" || env.Result.LLC.Accesses == 0 {
 		t.Fatalf("unexpected sim response: %s", raw)
 	}
+
+	// The run above went through the record/replay fast path: the tape
+	// counters must be live on /debug/vars (operators watch these to
+	// confirm replay is on and to size the tape budget).
+	dv, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer dv.Body.Close()
+	var vars struct {
+		Recorded int64 `json:"nucache_traces_recorded"`
+		Replayed int64 `json:"nucache_traces_replayed"`
+		Bytes    int64 `json:"nucache_trace_bytes"`
+	}
+	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvars: %v", err)
+	}
+	if vars.Recorded < 1 || vars.Replayed < 1 || vars.Bytes <= 0 {
+		t.Fatalf("trace expvars not live after a sim: recorded=%d replayed=%d bytes=%d",
+			vars.Recorded, vars.Replayed, vars.Bytes)
+	}
 }

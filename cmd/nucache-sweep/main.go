@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"nucache/internal/experiments"
+	"nucache/internal/sim"
 )
 
 func main() {
@@ -33,8 +34,10 @@ func main() {
 		mixLimit = flag.Int("mixlimit", 0, "truncate the 4-core mix list (0 = all)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU, 1 = sequential)")
 		jobTO    = flag.Duration("jobtimeout", 0, "per-(mix,policy) deadline; a stuck pair fails instead of hanging the sweep (0 = none)")
+		noReplay = flag.Bool("noreplay", false, "disable the record/replay fast path (A/B debugging; results are bit-identical either way)")
 	)
 	flag.Parse()
+	sim.SetReplayDisabled(*noReplay)
 
 	o := experiments.Options{
 		Budget: *budget, Seed: *seed, MixLimit: *mixLimit,

@@ -73,15 +73,16 @@ type Cache struct {
 	evictObs   EvictionObserver // non-nil iff policy observes evictions
 	offsetBits uint
 	indexMask  uint64
+	ways       int // == cfg.Ways, hoisted out of the access path
 	seq        uint64
 
-	// tags/valid mirror the per-line Tag and Valid fields in a dense
-	// layout for the access-path lookup: scanning 8 bytes per way instead
-	// of a full 32-byte Line keeps the whole search inside one or two
-	// cache lines. Only Access and Invalidate mutate tags/valid (policies
-	// own Meta but never Tag or Valid), so the mirror cannot drift.
-	tags  []uint64 // sets*ways, indexed set*ways+way
-	valid []uint64 // per-set bitmask of valid ways (Ways <= 64)
+	// tags mirrors the per-line Tag fields in a dense layout for the
+	// access-path lookup: scanning 8 bytes per way instead of a full
+	// 32-byte Line keeps the whole search inside one or two cache lines.
+	// Valid flags are mirrored in each Set's validMask. Only Access and
+	// Invalidate mutate either mirror (policies own Meta but never Tag
+	// or Valid), so they cannot drift.
+	tags []uint64 // sets*ways, indexed set*ways+way
 
 	// Stats is exported for cheap reading by the harness.
 	Stats Stats
@@ -107,6 +108,7 @@ func New(cfg Config, policy Policy) *Cache {
 		policy:     policy,
 		offsetBits: log2(cfg.LineBytes),
 		indexMask:  uint64(sets - 1),
+		ways:       cfg.Ways,
 		Stats: Stats{
 			CoreAccesses: make([]uint64, cores),
 			CoreHits:     make([]uint64, cores),
@@ -119,7 +121,6 @@ func New(cfg Config, policy Policy) *Cache {
 		c.sets[i].State = policy.NewSetState(i)
 	}
 	c.tags = make([]uint64, sets*cfg.Ways)
-	c.valid = make([]uint64, sets)
 	c.obs, _ = policy.(AccessObserver)
 	c.evictObs, _ = policy.(EvictionObserver)
 	return c
@@ -177,7 +178,8 @@ func (c *Cache) Access(req *Request) AccessResult {
 		c.obs.ObserveAccess(setIdx, tag, req)
 	}
 
-	if way := c.lookup(setIdx, tag); way >= 0 {
+	base := setIdx * c.ways
+	if way := c.lookup(base, set.validMask, tag); way >= 0 {
 		c.Stats.Hits++
 		c.Stats.CoreHits[core]++
 		if req.Kind == trace.Store {
@@ -220,18 +222,17 @@ func (c *Cache) Access(req *Request) AccessResult {
 		Valid: true,
 		Dirty: req.Kind == trace.Store,
 	}
-	c.tags[setIdx*c.cfg.Ways+way] = tag
-	c.valid[setIdx] |= 1 << uint(way)
+	c.tags[base+way] = tag
+	set.validMask |= 1 << uint(way)
 	c.policy.OnInsert(set, way, req)
 	return res
 }
 
 // lookup is Set.Lookup over the dense tag mirror — the simulator's single
-// hottest loop.
-func (c *Cache) lookup(setIdx int, tag uint64) int {
-	base := setIdx * c.cfg.Ways
-	mask := c.valid[setIdx]
-	for i, t := range c.tags[base : base+c.cfg.Ways] {
+// hottest loop. base is the set's first index into the mirror, mask its
+// validMask (both already in hand at the call site).
+func (c *Cache) lookup(base int, mask uint64, tag uint64) int {
+	for i, t := range c.tags[base : base+c.ways] {
 		if t == tag && mask&(1<<uint(i)) != 0 {
 			return i
 		}
@@ -254,8 +255,8 @@ func (c *Cache) Invalidate(addr uint64) (Line, bool) {
 		c.evictObs.ObserveEviction(setIdx, line)
 	}
 	set.Lines[way] = Line{}
-	c.tags[setIdx*c.cfg.Ways+way] = 0
-	c.valid[setIdx] &^= 1 << uint(way)
+	c.tags[setIdx*c.ways+way] = 0
+	set.validMask &^= 1 << uint(way)
 	return line, true
 }
 

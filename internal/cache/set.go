@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // SetState is opaque per-set replacement state owned by the policy.
 type SetState interface{}
 
@@ -10,16 +12,22 @@ type Set struct {
 	Lines []Line
 	// State is the policy's per-set state (may be nil).
 	State SetState
+
+	// validMask mirrors the Valid flags as a bitmask (bit i set iff
+	// Lines[i].Valid). Cache maintains it on insert and invalidate; it
+	// lets FindInvalid answer in one bit operation instead of scanning
+	// the lines — every policy's Victim asks, and in steady state the
+	// set is full.
+	validMask uint64
 }
 
 // FindInvalid returns the index of the first invalid way, or -1.
 func (s *Set) FindInvalid() int {
-	for i := range s.Lines {
-		if !s.Lines[i].Valid {
-			return i
-		}
+	free := ^s.validMask & (uint64(1)<<uint(len(s.Lines)) - 1)
+	if free == 0 {
+		return -1
 	}
-	return -1
+	return bits.TrailingZeros64(free)
 }
 
 // Lookup returns the way holding tag, or -1.

@@ -153,6 +153,7 @@ func TestSetHelpers(t *testing.T) {
 	}
 	s.Lines[0] = Line{Tag: 10, Valid: true}
 	s.Lines[1] = Line{Tag: 11, Valid: true}
+	s.validMask = 0b11 // Cache maintains this mirror on real sets
 	if got := s.FindInvalid(); got != 2 {
 		t.Fatalf("FindInvalid = %d", got)
 	}

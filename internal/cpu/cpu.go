@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"nucache/internal/cache"
 	"nucache/internal/memory"
@@ -153,6 +154,22 @@ type System struct {
 	llc   *cache.Cache
 	dram  *memory.DRAM // nil under the flat-latency model
 
+	// cand caches the core nextCore returned last; rivalTime/rivalIndex
+	// are the best (time, index) among the other schedulable cores at the
+	// last full scan. Between scans only cand's state changes (it is the
+	// only core that steps), so cand can be re-returned without a scan
+	// while it still beats the rival threshold.
+	cand       *coreState
+	rivalTime  uint64
+	rivalIndex int
+
+	// req is the scratch request reused for every cache access: the
+	// caches and policies read it only during the Access call (never
+	// retain the pointer), and reusing it keeps the per-access path
+	// allocation-free — a fresh composite literal escapes through the
+	// policy interface and costs one heap object per access.
+	req cache.Request
+
 	// Writebacks counts L1 dirty evictions forwarded to the LLC.
 	Writebacks uint64
 	// PrefetchIssued counts next-line prefetches sent to the LLC.
@@ -207,6 +224,9 @@ func (s *System) DRAM() *memory.DRAM { return s.dram }
 // LLC exposes the shared cache (policy inspection, stats).
 func (s *System) LLC() *cache.Cache { return s.llc }
 
+// Prefetches returns the next-line prefetch count (Machine interface).
+func (s *System) Prefetches() uint64 { return s.PrefetchIssued }
+
 // Run executes the simulation and returns per-core results. Each core's
 // statistics are snapshotted when it reaches the instruction budget, but
 // the core keeps issuing until every core has been snapshotted, so the
@@ -240,16 +260,31 @@ func (s *System) allRecorded() bool {
 }
 
 // nextCore picks the still-issuing core with the smallest local clock
-// (ties broken by index for determinism).
+// (ties broken by index for determinism). The cached fast path skips
+// the scan while the last-returned core still precedes every rival —
+// the common case whenever one core is on a run of short steps (and
+// always for a single-core machine).
 func (s *System) nextCore() *coreState {
-	var best *coreState
+	if c := s.cand; c != nil && !c.stopped &&
+		(c.time < s.rivalTime || (c.time == s.rivalTime && c.index < s.rivalIndex)) {
+		return c
+	}
+	var best, rival *coreState
 	for _, c := range s.cores {
 		if c.stopped {
 			continue
 		}
 		if best == nil || c.time < best.time {
-			best = c
+			best, rival = c, best
+		} else if rival == nil || c.time < rival.time {
+			rival = c
 		}
+	}
+	s.cand = best
+	if rival != nil {
+		s.rivalTime, s.rivalIndex = rival.time, rival.index
+	} else {
+		s.rivalTime, s.rivalIndex = math.MaxUint64, math.MaxInt
 	}
 	return best
 }
@@ -269,20 +304,23 @@ func (s *System) step(c *coreState) {
 
 	c.time += uint64(a.Gap) // non-memory instructions, 1 cycle each
 
-	l1res := c.l1.Access(&cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind})
+	s.req = cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind}
+	l1res := c.l1.Access(&s.req)
 	switch {
 	case l1res.Hit:
 		c.time += s.cfg.L1Latency
 	case c.l2 != nil:
 		c.time += s.cfg.L1Latency + s.cfg.L2Latency
-		l2res := c.l2.Access(&cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind})
+		s.req = cache.Request{Addr: addr, PC: pc, Core: 0, Kind: a.Kind}
+		l2res := c.l2.Access(&s.req)
 		// The L1 victim drains into the private L2 (posted).
 		if l1res.EvictedValid && l1res.Evicted.Dirty {
 			s.Writebacks++
-			c.l2.Access(&cache.Request{
+			s.req = cache.Request{
 				Addr: l1res.Evicted.Tag << 6, PC: l1res.Evicted.PC,
 				Core: 0, Kind: trace.Store,
-			})
+			}
+			c.l2.Access(&s.req)
 		}
 		if !l2res.Hit {
 			s.accessLLC(c, addr, pc, a.Kind, l2res)
@@ -308,7 +346,8 @@ func (s *System) step(c *coreState) {
 // private victim's writeback. upper is the access result of the deepest
 // private level, whose victim must drain into the LLC.
 func (s *System) accessLLC(c *coreState, addr, pc uint64, kind trace.Kind, upper cache.AccessResult) {
-	llcRes := s.llc.Access(&cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: kind})
+	s.req = cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: kind}
+	llcRes := s.llc.Access(&s.req)
 	if llcRes.Hit {
 		c.time += s.cfg.LLCLatency
 	} else if s.dram != nil {
@@ -323,18 +362,20 @@ func (s *System) accessLLC(c *coreState, addr, pc uint64, kind trace.Kind, upper
 	}
 	for d := 1; d <= s.cfg.PrefetchDegree; d++ {
 		s.PrefetchIssued++
-		s.llc.Access(&cache.Request{
+		s.req = cache.Request{
 			Addr: addr + uint64(d)*uint64(s.cfg.LLC.LineBytes),
 			PC:   pc, Core: c.index, Kind: trace.Load,
-		})
+		}
+		s.llc.Access(&s.req)
 	}
 	if upper.EvictedValid && upper.Evicted.Dirty {
 		// Posted writeback: updates LLC state but does not stall.
 		s.Writebacks++
-		s.llc.Access(&cache.Request{
+		s.req = cache.Request{
 			Addr: upper.Evicted.Tag << 6, PC: upper.Evicted.PC,
 			Core: c.index, Kind: trace.Store,
-		})
+		}
+		s.llc.Access(&s.req)
 	}
 }
 
@@ -378,31 +419,42 @@ func newL1LRU() cache.Policy { return l1lru{} }
 
 // l1lru is a small self-contained LRU so package cpu does not depend on
 // package policy (which would invert the dependency layering for tests).
+// It keeps a last-use stamp per way instead of a recency list: exact LRU
+// either way (stamps are unique, invalid ways stamp 0 and lose every
+// comparison, so fills take the first invalid way just like a
+// FindInvalid-first list), but touching one word per access instead of
+// memmoving a stack — this sits under every simulated instruction.
 type l1lru struct{}
 
-type l1State struct{ stack *cache.WayList }
+type l1State struct {
+	last [16]uint64 // last-use stamp per way; 0 = never filled
+	tick uint64
+}
 
 func (l1lru) Name() string { return "LRU" }
 
-func (l1lru) NewSetState(int) cache.SetState {
-	return &l1State{stack: cache.NewWayList(16)}
-}
+func (l1lru) NewSetState(int) cache.SetState { return &l1State{} }
 
 func (l1lru) OnHit(set *cache.Set, way int, _ *cache.Request) {
-	set.State.(*l1State).stack.MoveToFront(way)
+	st := set.State.(*l1State)
+	st.tick++
+	st.last[way] = st.tick
 }
 
 func (l1lru) Victim(set *cache.Set, _ *cache.Request) int {
 	st := set.State.(*l1State)
-	if inv := set.FindInvalid(); inv >= 0 {
-		st.stack.Remove(inv)
-		return inv
+	way := 0
+	min := st.last[0]
+	for i := 1; i < len(set.Lines); i++ {
+		if st.last[i] < min {
+			way, min = i, st.last[i]
+		}
 	}
-	return st.stack.Back()
+	return way
 }
 
 func (l1lru) OnInsert(set *cache.Set, way int, _ *cache.Request) {
 	st := set.State.(*l1State)
-	st.stack.Remove(way)
-	st.stack.PushFront(way)
+	st.tick++
+	st.last[way] = st.tick
 }

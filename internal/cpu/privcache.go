@@ -1,0 +1,116 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"nucache/internal/cache"
+)
+
+// privCache is the recorder's specialized model of a private L1/L2: a
+// set-associative LRU cache with exactly the semantics of cache.Cache
+// driven by l1lru, but with the generic machinery (request structs,
+// policy interface calls, per-core counters, observer hooks) compiled
+// away. The record pass runs every simulated access through this model,
+// so its constant factor bounds how fast tapes can be cut.
+//
+// Equivalence contract with cache.Cache + l1lru (checked by the replay
+// differential suite, which compares L1 statistics and every downstream
+// LLC outcome against the direct engine):
+//   - lookup scans ways in index order and takes the first valid tag
+//     match;
+//   - a store hit marks the line dirty;
+//   - the fill victim is the lowest-numbered invalid way, else the way
+//     with the oldest use stamp (stamps are per-access monotonic, so a
+//     process-wide counter orders them identically to a per-set one);
+//   - a filled line records the demand PC and is dirty iff the demand
+//     was a store;
+//   - hit/miss counts match cache.Stats.Hits/Misses.
+type privCache struct {
+	ways       int
+	offsetBits uint
+	indexMask  uint64
+
+	tags  []uint64 // sets*ways, indexed set*ways+way
+	pcs   []uint64 // fill PC per line
+	stamp []uint64 // last-use tick per line
+	valid []uint64 // per-set bitmask of valid ways
+	dirty []uint64 // per-set bitmask of dirty ways
+	tick  uint64
+
+	hits, misses uint64
+}
+
+// privResult is the outcome of one access: hit or fill, plus the victim
+// line's identity when a valid line was displaced.
+type privResult struct {
+	hit     bool
+	evValid bool
+	evDirty bool
+	evTag   uint64
+	evPC    uint64
+}
+
+func newPrivCache(cfg cache.Config) *privCache {
+	sets := cfg.Sets()
+	return &privCache{
+		ways:       cfg.Ways,
+		offsetBits: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		indexMask:  uint64(sets - 1),
+		tags:       make([]uint64, sets*cfg.Ways),
+		pcs:        make([]uint64, sets*cfg.Ways),
+		stamp:      make([]uint64, sets*cfg.Ways),
+		valid:      make([]uint64, sets),
+		dirty:      make([]uint64, sets),
+	}
+}
+
+func (p *privCache) access(addr, pc uint64, store bool) privResult {
+	set := int((addr >> p.offsetBits) & p.indexMask)
+	tag := addr >> p.offsetBits
+	base := set * p.ways
+	mask := p.valid[set]
+	p.tick++
+
+	for i, t := range p.tags[base : base+p.ways] {
+		if t == tag && mask&(1<<uint(i)) != 0 {
+			p.hits++
+			if store {
+				p.dirty[set] |= 1 << uint(i)
+			}
+			p.stamp[base+i] = p.tick
+			return privResult{hit: true}
+		}
+	}
+	p.misses++
+
+	var way int
+	if free := ^mask & (uint64(1)<<uint(p.ways) - 1); free != 0 {
+		way = bits.TrailingZeros64(free)
+	} else {
+		min := p.stamp[base]
+		for i := 1; i < p.ways; i++ {
+			if s := p.stamp[base+i]; s < min {
+				way, min = i, s
+			}
+		}
+	}
+
+	res := privResult{}
+	wb := uint64(1) << uint(way)
+	if mask&wb != 0 {
+		res.evValid = true
+		res.evDirty = p.dirty[set]&wb != 0
+		res.evTag = p.tags[base+way]
+		res.evPC = p.pcs[base+way]
+	}
+	p.tags[base+way] = tag
+	p.pcs[base+way] = pc
+	p.stamp[base+way] = p.tick
+	p.valid[set] |= wb
+	if store {
+		p.dirty[set] |= wb
+	} else {
+		p.dirty[set] &^= wb
+	}
+	return res
+}

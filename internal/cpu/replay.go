@@ -1,0 +1,398 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"nucache/internal/cache"
+	"nucache/internal/memory"
+	"nucache/internal/trace"
+)
+
+// ReplaySystem drives only the shared LLC (and the memory model behind
+// it) from per-core filtered tapes, reproducing a direct System.Run
+// bit for bit. The key invariant it relies on: in the direct engine,
+// steps execute in global (step-start-time, core-index) order, and steps
+// that never reach the LLC touch no shared state. So replay schedules
+// just the LLC-bound events and the recorded measurement crossings, at
+// start times reconstructed as
+//
+//	time = policy-independent cycles (from the tape's gaps)
+//	     + this core's accumulated LLC/memory service cycles (replayed)
+//
+// which is exactly the core's clock at that step in the direct run.
+type ReplaySystem struct {
+	cfg   Config
+	cores []*replayCore
+	llc   *cache.Cache
+	dram  *memory.DRAM
+
+	// cand/rivalTime/rivalIndex implement the same cached-scheduler fast
+	// path as (*System).nextCore; see that comment.
+	cand       *replayCore
+	rivalTime  uint64
+	rivalIndex int
+
+	// recorded counts cores whose measurement window has closed — the
+	// run's stop condition, kept as a counter so the per-item loop does
+	// not rescan every core.
+	recorded int
+
+	// req is the scratch request reused for every LLC access (same
+	// reasoning as System.req: nothing retains the pointer, and a fresh
+	// literal would heap-allocate per access).
+	req cache.Request
+
+	// Writebacks counts dirty private victims drained into the LLC. With
+	// a private L2 this intentionally differs from System.Writebacks,
+	// which also counts L1-to-L2 drains that never reach the LLC (those
+	// happen at record time here). LLC-level statistics are unaffected.
+	Writebacks uint64
+	// PrefetchIssued counts next-line prefetches sent to the LLC.
+	PrefetchIssued uint64
+}
+
+// Machine is the read surface shared by System and ReplaySystem —
+// everything result collection needs after a run.
+type Machine interface {
+	LLC() *cache.Cache
+	DRAM() *memory.DRAM
+	Prefetches() uint64
+}
+
+type replayCore struct {
+	index int
+	tape  *Tape
+
+	view      tapeView
+	nextCross int
+	streaming bool                 // decode cache exhausted; stream from cur
+	cur       trace.FilteredCursor // overflow decode (streaming mode only)
+
+	replayed  uint64              // events replayed so far
+	pi        uint64              // policy-independent cycles at the pending event's step start
+	svc       uint64              // accumulated LLC/memory service cycles
+	wbIdx     uint64              // writeback side records consumed (mirror mode)
+	pend      trace.FilteredEvent // the pending event (InstrGap not reconstructed; replay never reads it)
+	pendValid bool
+	dueCross  bool   // next item is view.cross[nextCross], not pend
+	time      uint64 // schedule time of the next item (valid unless stopped)
+
+	recorded bool
+	stopped  bool
+	base     CoreResult
+	result   CoreResult
+}
+
+// NewReplaySystem builds a replay over one tape per core. Tapes must
+// have been recorded for a config with the same front end (FrontEndKey);
+// the LLC, memory model and prefetch degree may differ freely.
+func NewReplaySystem(cfg Config, llcPolicy cache.Policy, tapes []*Tape) *ReplaySystem {
+	if cfg.Cores <= 0 {
+		panic("cpu: non-positive core count")
+	}
+	if len(tapes) != cfg.Cores {
+		panic(fmt.Sprintf("cpu: %d tapes for %d cores", len(tapes), cfg.Cores))
+	}
+	fe := FrontEndKey(cfg)
+	for i, t := range tapes {
+		if t.frontEnd != fe {
+			panic(fmt.Sprintf("cpu: tape %d recorded for front end %q, replaying %q",
+				i, t.frontEnd, fe))
+		}
+	}
+	llcCfg := cfg.LLC
+	if llcCfg.Name == "" {
+		llcCfg.Name = "LLC"
+	}
+	llcCfg.Cores = cfg.Cores
+	rs := &ReplaySystem{
+		cfg: cfg,
+		llc: cache.New(llcCfg, llcPolicy),
+	}
+	if cfg.DRAM != nil {
+		rs.dram = memory.New(*cfg.DRAM)
+	}
+	for i, t := range tapes {
+		rs.cores = append(rs.cores, &replayCore{index: i, tape: t})
+	}
+	return rs
+}
+
+// DRAM exposes the memory model when enabled (nil otherwise).
+func (rs *ReplaySystem) DRAM() *memory.DRAM { return rs.dram }
+
+// LLC exposes the shared cache (policy inspection, stats).
+func (rs *ReplaySystem) LLC() *cache.Cache { return rs.llc }
+
+// Prefetches returns the next-line prefetch count (Machine interface).
+func (rs *ReplaySystem) Prefetches() uint64 { return rs.PrefetchIssued }
+
+// Run replays the simulation and returns per-core results identical to
+// the equivalent direct System.Run. An error means the replay could not
+// complete (tape budget exhausted or untaggable stream); the LLC state
+// is then unusable and the caller should fall back to direct simulation.
+func (rs *ReplaySystem) Run() ([]CoreResult, error) {
+	for _, c := range rs.cores {
+		if err := rs.advance(c); err != nil {
+			return nil, err
+		}
+	}
+	// The direct engine checks "everyone recorded" before each step, so
+	// the step that records the last core is also the last step executed.
+	// Mirror that exactly: test the condition before picking an item, and
+	// defer recomputing the played core's next item (which could extend
+	// its tape past anything a replay needs) until the loop continues.
+	var replayedLast *replayCore
+	for rs.recorded < len(rs.cores) {
+		if replayedLast != nil {
+			if err := rs.advance(replayedLast); err != nil {
+				return nil, err
+			}
+			replayedLast = nil
+		}
+		c := rs.nextItem()
+		if c == nil {
+			break // every stream exhausted
+		}
+		if err := rs.playItem(c); err != nil {
+			return nil, err
+		}
+		replayedLast = c
+	}
+	out := make([]CoreResult, len(rs.cores))
+	for i, c := range rs.cores {
+		if !c.recorded {
+			// Unreachable for well-formed tapes (exhaustion records), but
+			// fail safe rather than return partial results.
+			return nil, fmt.Errorf("cpu: replay core %d ended unrecorded", i)
+		}
+		out[i] = c.result
+	}
+	return out, nil
+}
+
+// nextItem picks the core whose next item has the smallest schedule
+// time, ties broken by index — the replay analogue of nextCore, with the
+// same cached fast path (only the last-played core's time has changed).
+func (rs *ReplaySystem) nextItem() *replayCore {
+	if c := rs.cand; c != nil && !c.stopped &&
+		(c.time < rs.rivalTime || (c.time == rs.rivalTime && c.index < rs.rivalIndex)) {
+		return c
+	}
+	var best, rival *replayCore
+	for _, c := range rs.cores {
+		if c.stopped {
+			continue
+		}
+		if best == nil || c.time < best.time {
+			best, rival = c, best
+		} else if rival == nil || c.time < rival.time {
+			rival = c
+		}
+	}
+	rs.cand = best
+	if rival != nil {
+		rs.rivalTime, rs.rivalIndex = rival.time, rival.index
+	} else {
+		rs.rivalTime, rs.rivalIndex = math.MaxUint64, math.MaxInt
+	}
+	return best
+}
+
+// advance computes core c's next item and its schedule time, fetching
+// (and if needed extending) the tape snapshot.
+func (rs *ReplaySystem) advance(c *replayCore) error {
+	for {
+		if c.stopped {
+			return nil
+		}
+		// A due crossing always precedes the pending event: its step came
+		// first, and the snapshot that contained the event also contained
+		// every earlier crossing.
+		if c.nextCross < len(c.view.cross) {
+			if cr := &c.view.cross[c.nextCross]; cr.AfterEvents == c.replayed {
+				if cr.OnEvent {
+					// Consumed inline by playItem; only reachable for a
+					// malformed hand-built tape.
+					return fmt.Errorf("cpu: replay core %d: stray on-event crossing", c.index)
+				}
+				c.dueCross = true
+				c.time = cr.PStart + c.svc
+				return nil
+			}
+		}
+		if c.pendValid {
+			c.time = c.pi + c.svc
+			return nil
+		}
+		// The next event is ordinal c.replayed: usually unpacked from the
+		// tape's decode cache (one 16-byte sequential read; the wb side
+		// list only when the event carries a writeback), else
+		// stream-decoded from the packed buffer (decode budget exhausted).
+		if c.replayed < c.view.decCount {
+			e := &c.view.decPages[c.replayed>>decPageShift][c.replayed&decPageMask]
+			w0, w1 := e.w0, e.w1
+			gap := w0>>decGapLowShift | w1>>decPCBits<<decGapLowBits
+			c.pend.Addr = w0 & (1<<decAddrBits - 1)
+			c.pend.PC = w1 & (1<<decPCBits - 1)
+			c.pend.CycleGap = gap
+			c.pend.Kind = trace.Load
+			if w0&decStoreBit != 0 {
+				c.pend.Kind = trace.Store
+			}
+			if w0&decWBBit != 0 {
+				wb := &c.view.wbPages[c.wbIdx>>wbPageShift][c.wbIdx&wbPageMask]
+				c.pend.HasWB, c.pend.WBAddr, c.pend.WBPC = true, wb.addr, wb.pc
+				c.wbIdx++
+			} else {
+				c.pend.HasWB = false
+			}
+			c.pendValid = true
+			c.pi += gap
+			continue
+		}
+		if c.replayed < c.view.events {
+			if !c.streaming {
+				c.streaming = true
+				c.cur = c.view.overflow
+			}
+			ok, err := c.cur.Next(&c.pend)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("cpu: replay core %d: packed tape short of event %d", c.index, c.replayed)
+			}
+			c.pendValid = true
+			c.pi += c.pend.CycleGap
+			continue
+		}
+		if c.view.complete {
+			return fmt.Errorf("cpu: replay core %d ran off its tape", c.index)
+		}
+		v, err := c.tape.snapshot(c.replayed)
+		if err != nil {
+			return err
+		}
+		c.view = v
+		if c.streaming {
+			c.cur.Rebase(v.buf, v.events)
+		}
+	}
+}
+
+// playItem executes core c's next item: either a due crossing (advance
+// latched dueCross) or the pending event (with any on-event crossings
+// attached to it).
+func (rs *ReplaySystem) playItem(c *replayCore) error {
+	if c.dueCross {
+		c.dueCross = false
+		rs.applyCrossing(c, &c.view.cross[c.nextCross])
+		c.nextCross++
+		return nil
+	}
+	rs.playEvent(c, &c.pend)
+	c.pendValid = false
+	c.replayed++
+	for c.nextCross < len(c.view.cross) {
+		cr := &c.view.cross[c.nextCross]
+		if cr.AfterEvents != c.replayed || !cr.OnEvent {
+			break
+		}
+		rs.applyCrossing(c, cr)
+		c.nextCross++
+	}
+	return nil
+}
+
+// playEvent replays one LLC-bound event, mirroring the demand access,
+// DRAM traffic, prefetch fan-out and posted writeback of
+// (*System).accessLLC in that exact order.
+func (rs *ReplaySystem) playEvent(c *replayCore, ev *trace.FilteredEvent) {
+	addr := ev.Addr + uint64(c.index)<<coreAddrShift
+	pc := ev.PC | uint64(c.index)<<corePCShift
+	rs.req = cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: ev.Kind}
+	llcRes := rs.llc.Access(&rs.req)
+	var svc uint64
+	if llcRes.Hit {
+		svc = rs.cfg.LLCLatency
+	} else if rs.dram != nil {
+		svc = rs.cfg.LLCLatency + rs.dram.Access(addr)
+	} else {
+		svc = rs.cfg.LLCLatency + rs.cfg.MemLatency
+	}
+	if llcRes.EvictedValid && llcRes.Evicted.Dirty && rs.dram != nil {
+		rs.dram.Touch(llcRes.Evicted.Tag << 6)
+	}
+	for d := 1; d <= rs.cfg.PrefetchDegree; d++ {
+		rs.PrefetchIssued++
+		rs.req = cache.Request{
+			Addr: addr + uint64(d)*uint64(rs.cfg.LLC.LineBytes),
+			PC:   pc, Core: c.index, Kind: trace.Load,
+		}
+		rs.llc.Access(&rs.req)
+	}
+	if ev.HasWB {
+		rs.Writebacks++
+		rs.req = cache.Request{
+			Addr: ev.WBAddr + uint64(c.index)<<coreAddrShift,
+			PC:   ev.WBPC | uint64(c.index)<<corePCShift,
+			Core: c.index, Kind: trace.Store,
+		}
+		rs.llc.Access(&rs.req)
+	}
+	c.svc += svc
+}
+
+func (rs *ReplaySystem) applyCrossing(c *replayCore, cr *trace.Crossing) {
+	switch cr.Kind {
+	case trace.CrossWarmup:
+		c.base = rs.snapshotAt(c, cr)
+	case trace.CrossRecord:
+		rs.recordAt(c, cr)
+	case trace.CrossExhaust:
+		if !c.recorded {
+			rs.recordAt(c, cr)
+		}
+		c.stopped = true
+	}
+}
+
+// snapshotAt reconstructs the direct engine's cumulative snapshot at a
+// crossing: the tape supplies the policy-independent counters, the live
+// LLC the per-core shared-cache counters, and the cycle count is the
+// recorded policy-independent clock plus this core's replayed service.
+func (rs *ReplaySystem) snapshotAt(c *replayCore, cr *trace.Crossing) CoreResult {
+	return CoreResult{
+		Core:         c.index,
+		Instructions: cr.Instr,
+		Cycles:       cr.PEnd + c.svc,
+		MemAccesses:  cr.Mem,
+		L1Hits:       cr.L1Hits,
+		L1Misses:     cr.L1Misses,
+		LLCAccesses:  rs.llc.Stats.CoreAccesses[c.index],
+		LLCHits:      rs.llc.Stats.CoreHits[c.index],
+		LLCMisses:    rs.llc.Stats.CoreMisses[c.index],
+	}
+}
+
+func (rs *ReplaySystem) recordAt(c *replayCore, cr *trace.Crossing) {
+	if !c.recorded {
+		rs.recorded++
+	}
+	c.recorded = true
+	r := rs.snapshotAt(c, cr)
+	b := c.base // zero when no warm-up
+	c.result = CoreResult{
+		Core:         c.index,
+		Instructions: r.Instructions - b.Instructions,
+		Cycles:       r.Cycles - b.Cycles,
+		MemAccesses:  r.MemAccesses - b.MemAccesses,
+		L1Hits:       r.L1Hits - b.L1Hits,
+		L1Misses:     r.L1Misses - b.L1Misses,
+		LLCAccesses:  r.LLCAccesses - b.LLCAccesses,
+		LLCHits:      r.LLCHits - b.LLCHits,
+		LLCMisses:    r.LLCMisses - b.LLCMisses,
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+
+	"nucache/internal/sim"
+)
+
+// Grid-cache hits must not re-count retired instructions: the first
+// MulticoreComparison computes every (mix, policy) cell and the alone
+// runs; an identical second call is served entirely from the grid cache
+// and the alone memo, so the counter must not move. (This was the PR 4
+// bugfix: accounting used to happen per call site, so cached results
+// could double-count.)
+func TestRetiredAccountingCachedGrid(t *testing.T) {
+	// A seed no other test uses, so the first call truly computes.
+	o := Options{Budget: 30_000, Seed: 4242, MixLimit: 1, BenchLimit: 4}
+
+	before := sim.InstructionsRetired.Value()
+	MulticoreComparison(2, o)
+	first := sim.InstructionsRetired.Value() - before
+	if first <= 0 {
+		t.Fatalf("first run retired %d instructions, want > 0", first)
+	}
+
+	before = sim.InstructionsRetired.Value()
+	MulticoreComparison(2, o)
+	if second := sim.InstructionsRetired.Value() - before; second != 0 {
+		t.Fatalf("cached re-run retired %d instructions, want 0", second)
+	}
+}

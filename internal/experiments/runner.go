@@ -18,7 +18,6 @@ import (
 	"nucache/internal/metrics"
 	"nucache/internal/policy"
 	"nucache/internal/sim"
-	"nucache/internal/trace"
 	"nucache/internal/workload"
 )
 
@@ -51,6 +50,10 @@ type Options struct {
 	// (0 = no deadline). A pair exceeding it fails the grid with a
 	// deadline error instead of hanging the whole experiment.
 	JobTimeout time.Duration
+	// DisableReplay forces direct simulation instead of the record/replay
+	// fast path (results are bit-identical either way; the switch exists
+	// for A/B debugging and the differential tests).
+	DisableReplay bool
 }
 
 func (o Options) withDefaults() Options {
@@ -146,18 +149,17 @@ func (o Options) machine(cores int) cpu.Config {
 	return cfg
 }
 
-// runMix simulates one mix under one policy and returns per-core results.
-func (o Options) runMix(m workload.Mix, spec PolicySpec) ([]cpu.CoreResult, *cpu.System) {
+// runMix simulates one mix under one policy and returns per-core
+// results. It goes through sim.RunMachine, so the policy-independent
+// front end is recorded once per (benchmark, seed, geometry) and
+// replayed per policy — bit-identical to direct simulation — and
+// retired-instruction accounting happens exactly once per computed run.
+func (o Options) runMix(m workload.Mix, spec PolicySpec) []cpu.CoreResult {
 	cfg := o.machine(m.Cores())
-	pol := spec.New(cfg.Cores, cfg.LLC.Ways)
-	sys := cpu.NewSystem(cfg, pol, m.Streams(o.Seed))
-	res := sys.Run()
-	var instr uint64
-	for _, r := range res {
-		instr += r.Instructions
-	}
-	sim.InstructionsRetired.Add(int64(instr))
-	return res, sys
+	res, _, _ := sim.RunMachine(cfg, func() cache.Policy {
+		return spec.New(cfg.Cores, cfg.LLC.Ways)
+	}, m, o.Seed, o.DisableReplay)
+	return res
 }
 
 // runAlone simulates one benchmark alone on the same machine geometry
@@ -200,11 +202,16 @@ func (o Options) aloneIPC(bench string, cores int) float64 {
 	}
 	aloneMu.Unlock()
 	e.once.Do(func() {
-		b := workload.MustByName(bench)
-		sys := cpu.NewSystem(cfg, policy.NewLRU(), []trace.Stream{b.Stream(o.Seed)})
-		r := sys.Run()[0]
-		sim.InstructionsRetired.Add(int64(r.Instructions))
-		e.ipc = r.IPC()
+		// A single-member mix at position 0 derives the same stream seed
+		// as the shared-mode run, so when some mix leads with this
+		// benchmark the alone run replays the very tape that mix
+		// recorded. OneShot: an alone run replays once, so recording a
+		// fresh tape for it would cost more than simulating directly.
+		alone := workload.Mix{Name: "alone/" + bench, Members: []string{bench}}
+		res, _, _ := sim.RunMachineOneShot(cfg, func() cache.Policy {
+			return policy.NewLRU()
+		}, alone, o.Seed, o.DisableReplay)
+		e.ipc = res[0].IPC()
 	})
 	return e.ipc
 }
@@ -226,7 +233,7 @@ type MixMetrics struct {
 }
 
 func (o Options) mixMetrics(m workload.Mix, spec PolicySpec) MixMetrics {
-	res, _ := o.runMix(m, spec)
+	res := o.runMix(m, spec)
 	shared := make([]float64, len(res))
 	var misses, instr uint64
 	for i, r := range res {

@@ -3,9 +3,16 @@ package policy
 import "nucache/internal/cache"
 
 // LRU is least-recently-used replacement: hits move lines to the MRU end
-// of a per-set recency stack; the victim is the LRU end. This is the
+// of a per-set recency order; the victim is the LRU end. This is the
 // baseline policy in the NUcache evaluation.
-type LRU struct{}
+//
+// The recency order is kept as per-way last-use stamps from a per-set
+// monotonic tick rather than an explicit stack: stamps are unique, so
+// the minimum-stamp way is exactly the stack's back, and a touch is one
+// store instead of a list splice.
+type LRU struct {
+	slab []lruState // block-allocated set states (see NewSetState)
+}
 
 // NewLRU returns an LRU policy.
 func NewLRU() *LRU { return &LRU{} }
@@ -14,33 +21,51 @@ func NewLRU() *LRU { return &LRU{} }
 func (*LRU) Name() string { return "LRU" }
 
 type lruState struct {
-	stack *cache.WayList
+	last [16]uint64 // last-use stamp per way; 0 = never filled
+	tick uint64
 }
 
+// lruSlabBlock sizes the state allocation blocks: an LLC-sized cache
+// asks for ~1k set states, and handing out slots from fixed-capacity
+// blocks turns those into a handful of allocations (states never move:
+// a full block is abandoned, not grown).
+const lruSlabBlock = 256
+
 // NewSetState implements cache.Policy.
-func (*LRU) NewSetState(int) cache.SetState {
-	return &lruState{stack: cache.NewWayList(16)}
+func (l *LRU) NewSetState(int) cache.SetState {
+	if len(l.slab) == cap(l.slab) {
+		l.slab = make([]lruState, 0, lruSlabBlock)
+	}
+	l.slab = l.slab[:len(l.slab)+1]
+	return &l.slab[len(l.slab)-1]
 }
 
 // OnHit implements cache.Policy.
 func (*LRU) OnHit(set *cache.Set, way int, _ *cache.Request) {
-	set.State.(*lruState).stack.MoveToFront(way)
+	st := set.State.(*lruState)
+	st.tick++
+	st.last[way] = st.tick
 }
 
 // Victim implements cache.Policy.
 func (*LRU) Victim(set *cache.Set, _ *cache.Request) int {
-	st := set.State.(*lruState)
 	if inv := set.FindInvalid(); inv >= 0 {
-		// Self-heal if an invalidation left a stale stack entry.
-		st.stack.Remove(inv)
 		return inv
 	}
-	return st.stack.Back()
+	st := set.State.(*lruState)
+	way := 0
+	min := st.last[0]
+	for i := 1; i < len(set.Lines); i++ {
+		if st.last[i] < min {
+			way, min = i, st.last[i]
+		}
+	}
+	return way
 }
 
 // OnInsert implements cache.Policy.
 func (*LRU) OnInsert(set *cache.Set, way int, _ *cache.Request) {
 	st := set.State.(*lruState)
-	st.stack.Remove(way)
-	st.stack.PushFront(way)
+	st.tick++
+	st.last[way] = st.tick
 }

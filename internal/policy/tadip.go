@@ -46,15 +46,27 @@ func (p *TADIP) Name() string {
 	return "TADIP"
 }
 
+// tadipTickBase splits the stamp space: MRU touches count up from it,
+// LRU (BIP) insertions count down from it. Both move at most once per
+// LLC access, so neither side can cross into the other within a run.
+const tadipTickBase = 1 << 40
+
+// tadipState keeps the set's recency order as per-way stamps (see
+// lruState): the victim is the minimum stamp, so a BIP insertion "at the
+// LRU end" is a stamp below every live one — and successive BIP
+// insertions take decreasing stamps, preserving the stack order where
+// the most recent LRU-insert is evicted first.
 type tadipState struct {
-	stack *cache.WayList
+	last  [16]uint64
+	tick  uint64   // last MRU stamp handed out (counts up)
+	low   uint64   // last LRU stamp handed out (counts down)
 	owner int      // thread whose duel this set participates in (-1: none)
 	role  duelRole // leaderA = LRU-insertion leader, leaderB = BIP leader
 }
 
 // NewSetState implements cache.Policy.
 func (p *TADIP) NewSetState(setIndex int) cache.SetState {
-	st := &tadipState{stack: cache.NewWayList(16), owner: -1, role: follower}
+	st := &tadipState{tick: tadipTickBase, low: tadipTickBase, owner: -1, role: follower}
 	off := setIndex % constituencySize
 	owner := off / 2
 	if owner < p.threads {
@@ -70,7 +82,9 @@ func (p *TADIP) NewSetState(setIndex int) cache.SetState {
 
 // OnHit implements cache.Policy.
 func (*TADIP) OnHit(set *cache.Set, way int, _ *cache.Request) {
-	set.State.(*tadipState).stack.MoveToFront(way)
+	st := set.State.(*tadipState)
+	st.tick++
+	st.last[way] = st.tick
 }
 
 // Victim implements cache.Policy.
@@ -86,17 +100,21 @@ func (p *TADIP) Victim(set *cache.Set, req *cache.Request) int {
 		}
 	}
 	if inv := set.FindInvalid(); inv >= 0 {
-		st.stack.Remove(inv)
 		return inv
 	}
-	return st.stack.Back()
+	way := 0
+	min := st.last[0]
+	for i := 1; i < len(set.Lines); i++ {
+		if st.last[i] < min {
+			way, min = i, st.last[i]
+		}
+	}
+	return way
 }
 
 // OnInsert implements cache.Policy.
 func (p *TADIP) OnInsert(set *cache.Set, way int, req *cache.Request) {
 	st := set.State.(*tadipState)
-	st.stack.Remove(way)
-
 	thread := p.threadOf(req)
 	useBIP := false
 	if st.owner == thread {
@@ -105,9 +123,11 @@ func (p *TADIP) OnInsert(set *cache.Set, way int, req *cache.Request) {
 		useBIP = p.psels[thread].useB()
 	}
 	if useBIP && !p.rng.Bool(brripEpsilon) {
-		st.stack.PushBack(way) // LRU insertion: next victim unless reused
+		st.low-- // LRU insertion: next victim unless reused
+		st.last[way] = st.low
 	} else {
-		st.stack.PushFront(way)
+		st.tick++
+		st.last[way] = st.tick
 	}
 }
 

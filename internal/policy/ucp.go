@@ -7,11 +7,11 @@ import "nucache/internal/cache"
 // lookahead algorithm re-divides the ways; replacement enforces the
 // per-core way quotas within each set on top of LRU ordering.
 type UCP struct {
-	cores int
-	ways  int
-	umons []*UMON
-	alloc []int
-	owned []int // per-Victim scratch: lines owned per core in the set
+	cores  int
+	ways   int
+	umons  []*UMON
+	alloc  []int
+	states []*ucpState // per-set states by index, for eviction accounting
 
 	epochAccesses uint64 // repartition period, in LLC accesses
 	sinceRepart   uint64
@@ -38,7 +38,6 @@ func NewUCP(cores, ways int, opts ...UCPOption) *UCP {
 		ways:          ways,
 		umons:         make([]*UMON, cores),
 		alloc:         make([]int, cores),
-		owned:         make([]int, cores),
 		epochAccesses: 500_000,
 	}
 	for i := range u.umons {
@@ -69,11 +68,26 @@ func (u *UCP) Allocations() []int {
 
 type ucpState struct {
 	stack *cache.WayList
+	// owned counts the set's valid lines per (clamped) owner core,
+	// maintained by OnInsert/ObserveEviction so Victim's quota check
+	// does not rescan the set's lines on every miss.
+	owned [16]uint8
 }
 
 // NewSetState implements cache.Policy.
-func (*UCP) NewSetState(int) cache.SetState {
-	return &ucpState{stack: cache.NewWayList(16)}
+func (u *UCP) NewSetState(setIndex int) cache.SetState {
+	st := &ucpState{stack: cache.NewWayList(16)}
+	for len(u.states) <= setIndex {
+		u.states = append(u.states, nil)
+	}
+	u.states[setIndex] = st
+	return st
+}
+
+// ObserveEviction implements cache.EvictionObserver: a valid line left
+// the cache (replacement or invalidation), so its owner's count drops.
+func (u *UCP) ObserveEviction(setIndex int, line cache.Line) {
+	u.states[setIndex].owned[u.clampCore(int(line.Core))]--
 }
 
 // ObserveAccess implements cache.AccessObserver: it feeds the issuing
@@ -105,19 +119,13 @@ func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
 		return inv
 	}
 	core := u.coreOf(req)
-	owned := u.owned
-	for i := range owned {
-		owned[i] = 0
-	}
-	for i := range set.Lines {
-		owned[u.clampCore(int(set.Lines[i].Core))]++
-	}
-	if owned[core] < u.alloc[core] {
+	owned := &st.owned
+	if int(owned[core]) < u.alloc[core] {
 		// Under quota: take the LRU line of any over-quota core.
 		for i := st.stack.Len() - 1; i >= 0; i-- {
 			w := st.stack.At(i)
 			oc := u.clampCore(int(set.Lines[w].Core))
-			if oc != core && owned[oc] > u.alloc[oc] {
+			if oc != core && int(owned[oc]) > u.alloc[oc] {
 				return w
 			}
 		}
@@ -141,8 +149,9 @@ func (u *UCP) Victim(set *cache.Set, req *cache.Request) int {
 }
 
 // OnInsert implements cache.Policy.
-func (*UCP) OnInsert(set *cache.Set, way int, _ *cache.Request) {
+func (u *UCP) OnInsert(set *cache.Set, way int, req *cache.Request) {
 	st := set.State.(*ucpState)
+	st.owned[u.coreOf(req)]++
 	st.stack.Remove(way)
 	st.stack.PushFront(way)
 }

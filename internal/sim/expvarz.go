@@ -1,6 +1,10 @@
 package sim
 
-import "expvar"
+import (
+	"expvar"
+
+	"nucache/internal/cpu"
+)
 
 // Runtime counters, published once per process under /debug/vars. They
 // aggregate across every scheduler in the process (the experiment grid
@@ -37,7 +41,21 @@ var (
 	// degrades that cache to memory-only mode).
 	CacheDiskErrors = expvar.NewInt("nucache_cache_disk_errors")
 	// InstructionsRetired totals simulated instructions across all runs.
+	// It is incremented exactly once per computed simulation (by
+	// RunMachine); cached results never count again.
 	InstructionsRetired = expvar.NewInt("nucache_sim_instructions")
 	// WallNanos totals wall-clock nanoseconds spent executing jobs.
 	WallNanos = expvar.NewInt("nucache_sim_wall_ns")
+	// TracesReplayed counts simulations served by the record/replay fast
+	// path; TraceFallbacks counts attempts that fell back to direct
+	// simulation (tape budget exhausted or untaggable stream).
+	TracesReplayed = expvar.NewInt("nucache_traces_replayed")
+	TraceFallbacks = expvar.NewInt("nucache_trace_fallbacks")
 )
+
+// The tape-side counters live in internal/cpu (sim depends on cpu, not
+// the reverse); publish them here under the same nucache_ namespace.
+func init() {
+	expvar.Publish("nucache_traces_recorded", expvar.Func(func() any { return cpu.TapesRecorded() }))
+	expvar.Publish("nucache_trace_bytes", expvar.Func(func() any { return cpu.TapeBytes() }))
+}

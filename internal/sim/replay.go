@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nucache/internal/cache"
+	"nucache/internal/cpu"
+	"nucache/internal/trace"
+	"nucache/internal/workload"
+)
+
+// The record/replay fast path: every (mix, seed) is simulated under
+// many LLC policies, but the synthetic generator and private L1/L2 are
+// policy-independent. RunMachine records each core's filtered front end
+// once (process-wide memo in internal/cpu) and replays only the shared
+// LLC per policy — bit-identical to direct simulation, several times
+// faster at grid scale. See EXPERIMENTS.md ("Record/replay cache").
+
+// replayOff is the process-wide kill switch (SetReplayDisabled); the
+// noReplay argument of RunMachine disables replay per call site.
+var replayOff atomic.Bool
+
+// SetReplayDisabled turns the record/replay fast path off (or back on)
+// process-wide. With replay disabled every simulation runs the private
+// hierarchy directly — useful for A/B debugging, since replay results
+// are defined to be bit-identical.
+func SetReplayDisabled(v bool) { replayOff.Store(v) }
+
+// ReplayDisabled reports the process-wide toggle.
+func ReplayDisabled() bool { return replayOff.Load() }
+
+// mixSeedStride matches workload.Mix.Streams: position i of a mix runs
+// its generator at seed + i*stride. Tapes are keyed by the derived seed,
+// so a benchmark running alone (position 0) shares its tape with every
+// mix that leads with it.
+const mixSeedStride = 0x9e3779b97f4a7c15
+
+// RunMachine runs one simulation of mix on cfg under a policy built by
+// newPol, replaying recorded front ends when possible and falling back
+// to direct simulation otherwise (replay disabled, tape budget
+// exhausted, or an untaggable stream). It returns the per-core results,
+// the machine for result collection, and the policy instance actually
+// used — on fallback after a failed replay attempt a fresh policy is
+// built, because the abandoned replay has already mutated the first.
+//
+// RunMachine also owns retired-instruction accounting: it adds to
+// InstructionsRetired exactly once per simulation it computes. Callers
+// must not count again (and cached results are never re-counted).
+func RunMachine(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, noReplay bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy) {
+	return runMachine(cfg, newPol, mix, seed, noReplay, false)
+}
+
+// RunMachineOneShot is RunMachine for simulations that will replay their
+// tapes exactly once (alone-IPC denominators): recording a fresh tape
+// costs more than the single direct simulation it would replace, so this
+// variant replays only when every member's tape was already recorded by
+// some other run (a mix leading with the same benchmark) and simulates
+// directly otherwise — never recording new tapes.
+func RunMachineOneShot(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, noReplay bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy) {
+	return runMachine(cfg, newPol, mix, seed, noReplay, true)
+}
+
+func runMachine(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, noReplay, cachedOnly bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy) {
+	if !noReplay && !replayOff.Load() {
+		if results, m, pol, ok := tryReplay(cfg, newPol, mix, seed, cachedOnly); ok {
+			countRetired(results)
+			return results, m, pol
+		}
+	}
+	pol := newPol()
+	sys := cpu.NewSystem(cfg, pol, mix.Streams(seed))
+	results := sys.Run()
+	countRetired(results)
+	return results, sys, pol
+}
+
+func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, cachedOnly bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy, bool) {
+	if len(mix.Members) != cfg.Cores {
+		return nil, nil, nil, false // direct path panics with the real error
+	}
+	tapes := make([]*cpu.Tape, len(mix.Members))
+	for i, name := range mix.Members {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return nil, nil, nil, false // direct path reports the error
+		}
+		s := seed + uint64(i)*mixSeedStride
+		id := fmt.Sprintf("%s@%d", name, s)
+		if cachedOnly {
+			t := cpu.LookupTape(id, cfg)
+			if t == nil {
+				return nil, nil, nil, false // one-shot: direct beats record+replay-once
+			}
+			tapes[i] = t
+			continue
+		}
+		t, err := cpu.AcquireTape(id, cfg,
+			func() trace.Stream { return b.Stream(s) })
+		if err != nil {
+			TraceFallbacks.Add(1)
+			return nil, nil, nil, false
+		}
+		tapes[i] = t
+	}
+	pol := newPol()
+	rs := cpu.NewReplaySystem(cfg, pol, tapes)
+	results, err := rs.Run()
+	if err != nil {
+		TraceFallbacks.Add(1)
+		return nil, nil, nil, false
+	}
+	TracesReplayed.Add(1)
+	return results, rs, pol, true
+}
+
+func countRetired(results []cpu.CoreResult) {
+	var n uint64
+	for _, r := range results {
+		n += r.Instructions
+	}
+	InstructionsRetired.Add(int64(n))
+}

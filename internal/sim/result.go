@@ -84,8 +84,9 @@ type Result struct {
 
 // Collect builds a Result from a completed system run. It is shared by
 // Execute and by cmd/nucache-sim's trace-replay path (which constructs
-// the system itself).
-func Collect(mix workload.Mix, policy cache.Policy, cfg cpu.Config, budget, seed uint64, results []cpu.CoreResult, sys *cpu.System) *Result {
+// the system itself); sys is either a *cpu.System or a *cpu.ReplaySystem
+// — the two are bit-identical at this surface.
+func Collect(mix workload.Mix, policy cache.Policy, cfg cpu.Config, budget, seed uint64, results []cpu.CoreResult, sys cpu.Machine) *Result {
 	res := &Result{
 		Mix:      mix.Name,
 		Members:  mix.Members,
@@ -122,7 +123,7 @@ func Collect(mix workload.Mix, policy cache.Policy, cfg cpu.Config, budget, seed
 	if d := sys.DRAM(); d != nil {
 		res.DRAM = &DRAMStat{Accesses: d.Accesses, RowHitRate: d.RowHitRate()}
 	}
-	res.PrefetchIssued = sys.PrefetchIssued
+	res.PrefetchIssued = sys.Prefetches()
 	if nu, ok := policy.(*core.NUcache); ok {
 		st := &NUcacheStat{
 			Epochs:         nu.Epochs,

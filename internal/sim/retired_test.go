@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/cpu"
+	"nucache/internal/policy"
+	"nucache/internal/workload"
+)
+
+// Retired-instruction accounting contract: RunMachine adds to
+// InstructionsRetired exactly once per simulation it computes — the same
+// amount whether the run went through replay or direct simulation — and
+// layers above never count again (cache hits are covered by the
+// experiments-level test on the grid cache).
+func TestRetiredAccountingReplayVsDirect(t *testing.T) {
+	cfg := cpu.DefaultConfig(2)
+	cfg.InstrBudget = 40_000
+	mix := workload.Mix{Name: "retired-test", Members: []string{"art-like", "swim-like"}}
+	newPol := func() cache.Policy { return policy.NewLRU() }
+
+	before := InstructionsRetired.Value()
+	dRes, _, _ := RunMachine(cfg, newPol, mix, 99, true) // direct
+	directDelta := InstructionsRetired.Value() - before
+
+	var want int64
+	for _, r := range dRes {
+		want += int64(r.Instructions)
+	}
+	if directDelta != want {
+		t.Fatalf("direct run retired %d, results sum to %d", directDelta, want)
+	}
+
+	before = InstructionsRetired.Value()
+	rRes, _, _ := RunMachine(cfg, newPol, mix, 99, false) // replay (records tapes)
+	replayDelta := InstructionsRetired.Value() - before
+	if replayDelta != directDelta {
+		t.Fatalf("replay run retired %d, direct retired %d", replayDelta, directDelta)
+	}
+	if !reflect.DeepEqual(dRes, rRes) {
+		t.Fatalf("replay results diverge from direct\nreplay: %+v\ndirect: %+v", rRes, dRes)
+	}
+
+	// A second replay of the now-recorded tapes still counts: it is a
+	// fresh simulation (of a possibly different policy), not a cache hit.
+	before = InstructionsRetired.Value()
+	RunMachine(cfg, newPol, mix, 99, false)
+	if again := InstructionsRetired.Value() - before; again != directDelta {
+		t.Fatalf("second replay retired %d, want %d", again, directDelta)
+	}
+}
+
+// RunMachineOneShot replays only tapes some other run already recorded;
+// either way its accounting matches the direct run.
+func TestRetiredAccountingOneShot(t *testing.T) {
+	cfg := cpu.DefaultConfig(1)
+	cfg.InstrBudget = 40_000
+	alone := workload.Mix{Name: "retired-oneshot", Members: []string{"mcf-like"}}
+	newPol := func() cache.Policy { return policy.NewLRU() }
+
+	before := InstructionsRetired.Value()
+	res, _, _ := RunMachineOneShot(cfg, newPol, alone, 101, false)
+	delta := InstructionsRetired.Value() - before
+	var want int64
+	for _, r := range res {
+		want += int64(r.Instructions)
+	}
+	if delta != want {
+		t.Fatalf("one-shot run retired %d, results sum to %d", delta, want)
+	}
+}

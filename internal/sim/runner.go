@@ -42,15 +42,19 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		d := memory.DefaultConfig()
 		cfg.DRAM = &d
 	}
-	pol, err := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays())
-	if err != nil {
+	if _, err := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays()); err != nil {
 		return nil, err
 	}
-	sys := cpu.NewSystem(cfg, pol, mix.Streams(req.Seed))
-	results := sys.Run()
-	res := Collect(mix, pol, cfg, req.Budget, req.Seed, results, sys)
-	InstructionsRetired.Add(int64(res.Instructions))
-	return res, nil
+	newPol := func() cache.Policy {
+		// Cannot fail: the same arguments were validated above.
+		p, _ := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays())
+		return p
+	}
+	// RunMachine replays the recorded front end when it can, falls back
+	// to direct simulation when it can't, and counts retired
+	// instructions either way.
+	results, m, pol := RunMachine(cfg, newPol, mix, req.Seed, false)
+	return Collect(mix, pol, cfg, req.Budget, req.Seed, results, m), nil
 }
 
 // policyNames is the catalog of LLC policies the service can build, in

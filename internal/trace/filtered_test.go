@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randEvents builds a deterministic stream of adversarial events: address
+// and PC deltas of every sign and magnitude, gaps from zero to far past
+// the one-byte varint fast path, and a mixture of loads, stores and
+// writeback-carrying events.
+func randEvents(n int, seed int64) []FilteredEvent {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]FilteredEvent, n)
+	addr, pc := uint64(1<<33), uint64(0x400000)
+	for i := range evs {
+		// Signed deltas around the running position, occasionally huge.
+		jump := uint64(rng.Intn(1 << 12))
+		if rng.Intn(16) == 0 {
+			jump = uint64(rng.Intn(1 << 30))
+		}
+		if rng.Intn(2) == 0 {
+			addr += jump
+		} else if addr > jump {
+			addr -= jump
+		}
+		pc = 0x400000 + uint64(rng.Intn(1<<20))*4
+		ev := FilteredEvent{
+			Addr:     addr &^ 63,
+			PC:       pc,
+			Kind:     Load,
+			CycleGap: uint64(rng.Intn(1 << 18)),
+			InstrGap: uint64(rng.Intn(1 << 10)),
+		}
+		if rng.Intn(2) == 0 {
+			ev.Kind = Store
+		}
+		if rng.Intn(3) == 0 {
+			ev.HasWB = true
+			ev.WBAddr = (addr + uint64(rng.Intn(1<<16))) &^ 63
+			ev.WBPC = 0x400000 + uint64(rng.Intn(1<<20))*4
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// TestFilteredRoundTrip: every event that goes through AppendEvent comes
+// back bit-identical from a FilteredCursor.
+func TestFilteredRoundTrip(t *testing.T) {
+	evs := randEvents(5000, 1)
+	tr := &FilteredTrace{}
+	for _, ev := range evs {
+		tr.AppendEvent(ev)
+	}
+	if got := tr.Events(); got != uint64(len(evs)) {
+		t.Fatalf("Events() = %d, want %d", got, len(evs))
+	}
+	if bpe := float64(tr.Bytes()) / float64(len(evs)); bpe > 16 {
+		t.Errorf("packed encoding uses %.1f bytes/event, budget is 16", bpe)
+	}
+
+	buf, events, _ := tr.Snapshot()
+	var cur FilteredCursor
+	cur.Rebase(buf, events)
+	for i, want := range evs {
+		var got FilteredEvent
+		ok, err := cur.Next(&got)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("cursor ended at event %d of %d", i, len(evs))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d round-trip mismatch\ngot:  %+v\nwant: %+v", i, got, want)
+		}
+	}
+	var extra FilteredEvent
+	if ok, _ := cur.Next(&extra); ok {
+		t.Fatal("cursor produced an event past the end")
+	}
+}
+
+// TestFilteredResumeCursor: a cursor rebuilt from a mid-stream Pos()
+// capture decodes the tail exactly as a cursor that read from the start.
+func TestFilteredResumeCursor(t *testing.T) {
+	evs := randEvents(2000, 2)
+	tr := &FilteredTrace{}
+	cut := 1234
+	for _, ev := range evs[:cut] {
+		tr.AppendEvent(ev)
+	}
+	off, prevAddr, prevPC := tr.Pos()
+	for _, ev := range evs[cut:] {
+		tr.AppendEvent(ev)
+	}
+
+	buf, events, _ := tr.Snapshot()
+	cur := ResumeCursor(off, prevAddr, prevPC, uint64(cut))
+	cur.Rebase(buf, events)
+	if got := cur.Decoded(); got != uint64(cut) {
+		t.Fatalf("Decoded() = %d, want %d", got, cut)
+	}
+	for i, want := range evs[cut:] {
+		var got FilteredEvent
+		ok, err := cur.Next(&got)
+		if err != nil || !ok {
+			t.Fatalf("resumed event %d: ok=%v err=%v", cut+i, ok, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resumed event %d mismatch\ngot:  %+v\nwant: %+v", cut+i, got, want)
+		}
+	}
+}
+
+// TestFilteredCursorRebaseGrowth: a cursor that drains a short snapshot
+// continues seamlessly after Rebase onto a longer snapshot of the same
+// tape — the incremental-extension pattern the tape cache relies on.
+func TestFilteredCursorRebaseGrowth(t *testing.T) {
+	evs := randEvents(300, 3)
+	tr := &FilteredTrace{}
+	for _, ev := range evs[:100] {
+		tr.AppendEvent(ev)
+	}
+	buf, events, _ := tr.Snapshot()
+	var cur FilteredCursor
+	cur.Rebase(buf, events)
+	var got FilteredEvent
+	for i := 0; i < 100; i++ {
+		if ok, err := cur.Next(&got); !ok || err != nil {
+			t.Fatalf("event %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ok, _ := cur.Next(&got); ok {
+		t.Fatal("cursor ran past its snapshot")
+	}
+	for _, ev := range evs[100:] {
+		tr.AppendEvent(ev)
+	}
+	buf, events, _ = tr.Snapshot()
+	cur.Rebase(buf, events)
+	for i, want := range evs[100:] {
+		if ok, err := cur.Next(&got); !ok || err != nil {
+			t.Fatalf("post-rebase event %d: ok=%v err=%v", 100+i, ok, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-rebase event %d mismatch\ngot:  %+v\nwant: %+v", 100+i, got, want)
+		}
+	}
+}
+
+// TestFilteredCrossings: crossings ride the tape untouched and in order.
+func TestFilteredCrossings(t *testing.T) {
+	tr := &FilteredTrace{}
+	want := []Crossing{
+		{Kind: CrossWarmup, AfterEvents: 0, PStart: 10, PEnd: 12, Instr: 100},
+		{Kind: CrossRecord, AfterEvents: 2, OnEvent: true, PStart: 50, PEnd: 55, Instr: 900, Mem: 40, L1Hits: 30, L1Misses: 10},
+		{Kind: CrossExhaust, AfterEvents: 2, PStart: 60, PEnd: 60},
+	}
+	for _, c := range want {
+		tr.AppendCrossing(c)
+	}
+	if got := tr.Crossings(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crossings mismatch\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if tr.Complete() {
+		t.Fatal("trace complete before MarkComplete")
+	}
+	tr.MarkComplete()
+	if !tr.Complete() {
+		t.Fatal("trace not complete after MarkComplete")
+	}
+}
