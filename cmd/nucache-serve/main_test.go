@@ -145,6 +145,12 @@ func TestSimEndpoint(t *testing.T) {
 		Recorded int64 `json:"nucache_traces_recorded"`
 		Replayed int64 `json:"nucache_traces_replayed"`
 		Bytes    int64 `json:"nucache_trace_bytes"`
+		// Integrity counters are pointers: they must be *published* (nil
+		// means the var is missing entirely), but a healthy server keeps
+		// them at zero.
+		ChecksumFails   *int64 `json:"nucache_cache_checksum_fails"`
+		TapeChecksums   *int64 `json:"nucache_tape_checksum_fails"`
+		FailpointsFired *int64 `json:"nucache_failpoints_fired"`
 	}
 	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
 		t.Fatalf("expvars: %v", err)
@@ -152,5 +158,13 @@ func TestSimEndpoint(t *testing.T) {
 	if vars.Recorded < 1 || vars.Replayed < 1 || vars.Bytes <= 0 {
 		t.Fatalf("trace expvars not live after a sim: recorded=%d replayed=%d bytes=%d",
 			vars.Recorded, vars.Replayed, vars.Bytes)
+	}
+	if vars.ChecksumFails == nil || vars.TapeChecksums == nil || vars.FailpointsFired == nil {
+		t.Fatalf("integrity expvars missing from /debug/vars: cache=%v tape=%v failpoints=%v",
+			vars.ChecksumFails, vars.TapeChecksums, vars.FailpointsFired)
+	}
+	if *vars.ChecksumFails != 0 || *vars.TapeChecksums != 0 || *vars.FailpointsFired != 0 {
+		t.Fatalf("integrity counters moved on a healthy server: cache=%d tape=%d failpoints=%d",
+			*vars.ChecksumFails, *vars.TapeChecksums, *vars.FailpointsFired)
 	}
 }

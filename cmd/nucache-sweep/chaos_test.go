@@ -1,0 +1,199 @@
+package main
+
+// Chaos suite for crash-safe sweeps: kill the binary at injected
+// failpoints across every layer it checkpoints through — scheduler
+// dispatch, tape recording, replay commit, journal append, and a torn
+// journal write — then restart with -resume and require output
+// byte-identical to an uninterrupted golden run.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nucache/internal/failpoint"
+	"nucache/internal/journal"
+)
+
+// sweepArgs is the fixed workload every chaos run uses: small enough to
+// finish in seconds, large enough to journal 12 cells (2 mixes x 6
+// specs) across both scheduler workers.
+func sweepArgs(journalPath string, resume bool) []string {
+	args := []string{
+		"-sweep", "deliways", "-budget", "50000", "-mixlimit", "2",
+		"-parallel", "2", "-journal", journalPath,
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	return args
+}
+
+// runMainEnv is runMain with extra child environment (failpoint arming).
+func runMainEnv(t *testing.T, env []string, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(append(os.Environ(), beBinary+"=1"), env...)
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+// stripTimings drops the wall-clock footer lines ("(deliways in 1.2s)")
+// — the only nondeterministic part of sweep stdout.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "(") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestChaosKillAndResume is the end-to-end crash-safety contract: for
+// every failpoint site on the sweep's write path, a run killed there
+// must leave a journal that a -resume run completes from with output
+// byte-identical to the uninterrupted golden run.
+func TestChaosKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	goldenOut, goldenErr, err := runMain(t, sweepArgs(filepath.Join(dir, "golden.journal"), false)...)
+	if err != nil {
+		t.Fatalf("golden run failed: %v\nstderr: %s", err, goldenErr)
+	}
+	if !strings.Contains(goldenErr, "12 records (0 resumed, 0 torn tails)") {
+		t.Fatalf("golden journal summary missing or wrong:\n%s", goldenErr)
+	}
+	golden := stripTimings(goldenOut)
+
+	sites := []string{
+		"sim.sched.job",       // grid cell dispatch
+		"cpu.tape.extend",     // trace recording
+		"cpu.replay.run",      // replay commit
+		"journal.append",      // checkpoint write
+		"journal.append.torn", // crash between a record's body and CRC
+	}
+	for _, site := range sites {
+		site := site
+		t.Run(site, func(t *testing.T) {
+			jpath := filepath.Join(dir, strings.ReplaceAll(site, ".", "_")+".journal")
+			hit := 1 + rand.IntN(3)
+			spec := fmt.Sprintf("%s=exit@%d", site, hit)
+			t.Logf("arming %s", spec)
+			_, crashErr, err := runMainEnv(t, []string{failpoint.EnvVar + "=" + spec},
+				sweepArgs(jpath, false)...)
+			var exit *exec.ExitError
+			if err == nil {
+				t.Fatalf("sweep survived %s", spec)
+			}
+			if !errors.As(err, &exit) || exit.ExitCode() != failpoint.ExitCode {
+				t.Fatalf("crash exit = %v, want code %d\nstderr: %s", err, failpoint.ExitCode, crashErr)
+			}
+
+			out, errOut, err := runMain(t, sweepArgs(jpath, true)...)
+			if err != nil {
+				t.Fatalf("resume after %s failed: %v\nstderr: %s", spec, err, errOut)
+			}
+			if got := stripTimings(out); got != golden {
+				t.Fatalf("resume after %s diverged from golden run\n--- golden ---\n%s\n--- resumed ---\n%s",
+					spec, golden, got)
+			}
+			// The completed journal holds every cell exactly once.
+			if !strings.Contains(errOut, "12 records (") {
+				t.Fatalf("resumed journal summary missing:\n%s", errOut)
+			}
+			if site == "journal.append.torn" && !strings.Contains(errOut, "1 torn tails") {
+				t.Fatalf("torn-tail crash not reported on resume:\n%s", errOut)
+			}
+		})
+	}
+}
+
+// TestResumeOfCompleteJournalRecomputesNothing reruns a finished sweep
+// with -resume: every cell must come from the journal (the summary's
+// resumed count equals its record count) and the output must match.
+func TestResumeOfCompleteJournalRecomputesNothing(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "sweep.journal")
+	goldenOut, _, err := runMain(t, sweepArgs(jpath, false)...)
+	if err != nil {
+		t.Fatalf("initial run failed: %v", err)
+	}
+	out, errOut, err := runMain(t, sweepArgs(jpath, true)...)
+	if err != nil {
+		t.Fatalf("resume failed: %v\nstderr: %s", err, errOut)
+	}
+	if !strings.Contains(errOut, "resumed 12 cells") ||
+		!strings.Contains(errOut, "12 records (12 resumed, 0 torn tails)") {
+		t.Fatalf("resume did not serve every cell from the journal:\n%s", errOut)
+	}
+	if stripTimings(out) != stripTimings(goldenOut) {
+		t.Fatalf("resumed output diverged:\n%s\nvs\n%s", out, goldenOut)
+	}
+}
+
+// TestResumeWithoutJournalIsUsageError mirrors the unknown-sweep exit
+// contract: -resume without -journal is exit 2 with a pointed message.
+func TestResumeWithoutJournalIsUsageError(t *testing.T) {
+	_, errOut, err := runMain(t, "-sweep", "deliways", "-resume")
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("want exit 2, got %v", err)
+	}
+	if !strings.Contains(errOut, "-resume requires -journal") {
+		t.Errorf("stderr does not explain the usage error: %q", errOut)
+	}
+}
+
+// TestSigintCheckpointsAndExitsCleanly interrupts a long journaled sweep
+// mid-flight: the process must exit 0, point the operator at -resume,
+// and leave a journal that reopens without error.
+func TestSigintCheckpointsAndExitsCleanly(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "sweep.journal")
+	// Budget sizing: the full -sweep all run takes minutes, so the sweep
+	// is reliably mid-flight when the signal lands — but a single cell
+	// (shared run plus its alone-IPC runs) still finishes well inside
+	// the drain timeout even under the race detector.
+	cmd := exec.Command(os.Args[0],
+		"-sweep", "all", "-budget", "300000", "-parallel", "2", "-journal", jpath)
+	cmd.Env = append(os.Environ(), beBinary+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the sweep get in flight, then interrupt. The budget is big
+	// enough that the first grid cannot finish this quickly.
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sweep did not exit cleanly on SIGINT: %v\nstderr: %s", err, errb.String())
+		}
+	case <-time.After(120 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("sweep did not exit after SIGINT (in-flight cells should finish in seconds)")
+	}
+	if !strings.Contains(errb.String(), "interrupted; rerun with -journal") {
+		t.Fatalf("interrupted run did not point at -resume:\nstderr: %s", errb.String())
+	}
+	// The journal left behind is valid (possibly empty if no cell had
+	// finished yet) and replays without error.
+	j, err := journal.Open(jpath, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatalf("journal left by SIGINT does not reopen: %v", err)
+	}
+	j.Close()
+}

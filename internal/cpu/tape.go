@@ -2,9 +2,11 @@ package cpu
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 
+	"nucache/internal/failpoint"
 	"nucache/internal/trace"
 )
 
@@ -80,9 +82,10 @@ const (
 )
 
 var (
-	tapesRecorded atomic.Int64
-	tapeBytes     atomic.Int64
-	tapeBudget    atomic.Int64
+	tapesRecorded     atomic.Int64
+	tapeBytes         atomic.Int64
+	tapeBudget        atomic.Int64
+	tapeChecksumFails atomic.Int64
 
 	// decBytes accounts the decoded-event caches separately from the
 	// packed tapes. When it reaches the tape budget, tapes stop growing
@@ -105,6 +108,11 @@ func TapesRecorded() int64 { return tapesRecorded.Load() }
 // (exported as the trace_bytes expvar).
 func TapeBytes() int64 { return tapeBytes.Load() }
 
+// TapeChecksumFails returns how many tape frames failed CRC
+// verification (exported as the tape_checksum_fails expvar). Each
+// failure kills its tape; replays fall back to direct simulation.
+func TapeChecksumFails() int64 { return tapeChecksumFails.Load() }
+
 // SetTapeBudget replaces the process-wide tape memory cap and returns
 // the previous value. Intended for operators (flag) and tests.
 func SetTapeBudget(n int64) int64 { return tapeBudget.Swap(n) }
@@ -122,7 +130,26 @@ type Tape struct {
 	chunk   uint64
 	dead    error // non-nil: tape unusable; replays fail over to direct
 	counted int   // bytes already added to tapeBytes
+
+	// Integrity frames: each tape extension CRC-32Cs the bytes it
+	// appended, and frames are re-verified once, on the first snapshot
+	// after their creation (a watermark, so verification work totals
+	// O(tape) no matter how many replays share it). A mismatch — bit rot
+	// in a long-lived process's tape memory — kills the tape; replays
+	// degrade to direct simulation instead of replaying corrupt events.
+	frames     []tapeFrame
+	frameEnd   int // bytes covered by frames
+	frameCheck int // frames verified so far
 }
+
+// tapeFrame is one extension's checksum: CRC-32C of the packed buffer
+// from the previous frame's end to this one's.
+type tapeFrame struct {
+	end int
+	crc uint32
+}
+
+var tapeCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // NewTape records stream's front end for cfg on demand. Most callers
 // want AcquireTape (the process-wide memo); NewTape is for tests and
@@ -224,6 +251,9 @@ func (t *Tape) snapshot(decoded uint64) (tapeView, error) {
 	if t.dead != nil {
 		return tapeView{}, t.dead
 	}
+	if err := t.verifyFrames(); err != nil {
+		return tapeView{}, err
+	}
 	tr := t.rec.tr
 	if tr.Events() <= decoded && !tr.Complete() {
 		// Growing tapes stop being extended at twice the budget; replays
@@ -231,6 +261,10 @@ func (t *Tape) snapshot(decoded uint64) (tapeView, error) {
 		if tapeBytes.Load() >= 2*tapeBudget.Load() {
 			t.dead = fmt.Errorf("cpu: tape budget exhausted while extending")
 			return tapeView{}, t.dead
+		}
+		if err := failpoint.Inject("cpu.tape.extend"); err != nil {
+			t.dead = err
+			return tapeView{}, err
 		}
 		if err := t.rec.run(tr.Events() + t.chunk); err != nil {
 			t.dead = err
@@ -241,6 +275,7 @@ func (t *Tape) snapshot(decoded uint64) (tapeView, error) {
 		}
 		tapeBytes.Add(int64(tr.Bytes() - t.counted))
 		t.counted = tr.Bytes()
+		t.sealFrame()
 	}
 	buf, events, cross := tr.Snapshot()
 	v := tapeView{
@@ -255,4 +290,65 @@ func (t *Tape) snapshot(decoded uint64) (tapeView, error) {
 		v.overflow.Rebase(buf, events)
 	}
 	return v, nil
+}
+
+// sealFrame checksums the bytes the extension just appended. Called
+// with t.mu held, right after the recorder ran.
+func (t *Tape) sealFrame() {
+	buf, _, _ := t.rec.tr.Snapshot()
+	if len(buf) <= t.frameEnd {
+		return
+	}
+	t.frames = append(t.frames, tapeFrame{
+		end: len(buf),
+		crc: crc32.Checksum(buf[t.frameEnd:len(buf)], tapeCRCTable),
+	})
+	t.frameEnd = len(buf)
+}
+
+// verifyFrames re-checks frames sealed by earlier extensions, each
+// exactly once (watermark). Called with t.mu held. On a mismatch the
+// tape is dead: cursors already holding snapshots of the corrupt bytes
+// cannot be trusted either, so their replays error out and the whole
+// simulation falls back to the direct engine.
+func (t *Tape) verifyFrames() error {
+	buf, _, _ := t.rec.tr.Snapshot()
+	start := 0
+	if t.frameCheck > 0 {
+		start = t.frames[t.frameCheck-1].end
+	}
+	for ; t.frameCheck < len(t.frames); t.frameCheck++ {
+		f := t.frames[t.frameCheck]
+		if got := crc32.Checksum(buf[start:f.end], tapeCRCTable); got != f.crc {
+			tapeChecksumFails.Add(1)
+			t.dead = fmt.Errorf("cpu: tape frame %d (bytes %d..%d) checksum mismatch: %#x, recorded %#x",
+				t.frameCheck, start, f.end, got, f.crc)
+			return t.dead
+		}
+		start = f.end
+	}
+	return nil
+}
+
+// Verify re-checks every sealed frame immediately, regardless of the
+// once-per-frame watermark — an on-demand integrity scan for tests and
+// operators. A mismatch kills the tape exactly as the lazy check would.
+func (t *Tape) Verify() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead != nil {
+		return t.dead
+	}
+	buf, _, _ := t.rec.tr.Snapshot()
+	start := 0
+	for i, f := range t.frames {
+		if got := crc32.Checksum(buf[start:f.end], tapeCRCTable); got != f.crc {
+			tapeChecksumFails.Add(1)
+			t.dead = fmt.Errorf("cpu: tape frame %d (bytes %d..%d) checksum mismatch: %#x, recorded %#x",
+				i, start, f.end, got, f.crc)
+			return t.dead
+		}
+		start = f.end
+	}
+	return nil
 }

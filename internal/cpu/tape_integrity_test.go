@@ -1,0 +1,105 @@
+package cpu
+
+// Integrity tests for the checksummed tape frames: corruption of the
+// packed event buffer must be caught by the frame CRCs — killing the
+// tape so replays degrade to direct simulation — and must never be
+// replayed as truth. These are internal tests on purpose: corrupting a
+// tape requires reaching through the snapshot into the shared buffer.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nucache/internal/cache"
+	"nucache/internal/failpoint"
+	"nucache/internal/workload"
+)
+
+func integrityConfig() Config {
+	return Config{
+		Cores:       1,
+		L1:          cache.Config{SizeBytes: 2 << 10, Ways: 2, LineBytes: 64},
+		LLC:         cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64},
+		L1Latency:   1,
+		LLCLatency:  10,
+		MemLatency:  100,
+		InstrBudget: 30_000,
+	}
+}
+
+// recordSome forces at least one extension so the tape has a sealed
+// frame, and returns the bytes currently on tape.
+func recordSome(t *testing.T, tape *Tape) []byte {
+	t.Helper()
+	if _, err := tape.snapshot(0); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	buf, _, _ := tape.rec.tr.Snapshot()
+	if len(buf) == 0 {
+		t.Fatal("tape recorded no bytes")
+	}
+	if len(tape.frames) == 0 {
+		t.Fatal("extension sealed no frame")
+	}
+	return buf
+}
+
+func TestTapeVerifyDetectsCorruption(t *testing.T) {
+	tape := NewTape(integrityConfig(), workload.MustByName("art-like").Stream(7))
+	buf := recordSome(t, tape)
+	if err := tape.Verify(); err != nil {
+		t.Fatalf("pristine tape failed verification: %v", err)
+	}
+
+	before := TapeChecksumFails()
+	buf[len(buf)/2] ^= 0x04 // bit rot in the middle of the packed stream
+	err := tape.Verify()
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("Verify on corrupt tape = %v, want checksum mismatch", err)
+	}
+	if TapeChecksumFails() != before+1 {
+		t.Fatalf("TapeChecksumFails = %d, want %d", TapeChecksumFails(), before+1)
+	}
+	// The tape is dead: every later snapshot fails with the same error,
+	// so replays fall back to direct simulation instead of replaying
+	// corrupt events.
+	if _, serr := tape.snapshot(0); serr == nil {
+		t.Fatal("snapshot succeeded on a dead tape")
+	}
+}
+
+// TestTapeLazyFrameCheckCatchesCorruption corrupts the buffer between
+// two snapshots: the watermark verification on the next snapshot (not
+// an explicit Verify call) must catch it.
+func TestTapeLazyFrameCheckCatchesCorruption(t *testing.T) {
+	tape := NewTape(integrityConfig(), workload.MustByName("ammp-like").Stream(3))
+	v, err := tape.snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, _ := tape.rec.tr.Snapshot()
+	buf[0] ^= 0x80
+	if _, err := tape.snapshot(v.events); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("lazy frame check missed corruption: %v", err)
+	}
+}
+
+// TestTapeExtendFailpoint arms the cpu.tape.extend site: the extension
+// fails, the tape dies, and — exactly like a real mid-record fault —
+// every replay of it reports an error instead of partial data.
+func TestTapeExtendFailpoint(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	if err := failpoint.Arm("cpu.tape.extend", "error"); err != nil {
+		t.Fatal(err)
+	}
+	tape := NewTape(integrityConfig(), workload.MustByName("art-like").Stream(7))
+	if _, err := tape.snapshot(0); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("snapshot err = %v, want injected", err)
+	}
+	failpoint.Reset()
+	if _, err := tape.snapshot(0); err == nil {
+		t.Fatal("tape recovered after a failed extension; must stay dead")
+	}
+}

@@ -6,7 +6,9 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"nucache/internal/cache"
 	"nucache/internal/core"
 	"nucache/internal/cpu"
+	"nucache/internal/journal"
 	"nucache/internal/memory"
 	"nucache/internal/metrics"
 	"nucache/internal/policy"
@@ -54,6 +57,19 @@ type Options struct {
 	// fast path (results are bit-identical either way; the switch exists
 	// for A/B debugging and the differential tests).
 	DisableReplay bool
+	// Ctx, when non-nil, cancels scheduler-backed grids early: queued
+	// cells return the context error, in-flight cells run to completion
+	// (and still checkpoint), and the grid reports nil instead of
+	// panicking — commands then exit cleanly, leaving the journal
+	// resumable. Nil means context.Background() (never canceled).
+	Ctx context.Context
+	// Journal, when non-nil, checkpoints every computed grid cell
+	// (content-address key plus JSON metrics) as it completes, so a
+	// crashed or interrupted sweep resumes via OpenSweepJournal without
+	// recomputing finished cells. Appends are best-effort: a journal
+	// write failure is logged and the sweep continues (the cell just
+	// recomputes on resume).
+	Journal *journal.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -281,13 +297,75 @@ func (o Options) mixKey(m workload.Mix, spec PolicySpec) string {
 	}, "|")
 }
 
+// cellRecord is one checkpoint journal entry: a completed grid cell,
+// addressed by its content key and carrying exactly the JSON the result
+// cache stores — resume seeds the cache with Val verbatim, so a resumed
+// sweep is byte-identical to an uninterrupted one.
+type cellRecord struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// journalCell checkpoints one computed cell. Best effort: a journal
+// failure costs only a recompute on resume, never the sweep.
+func (o Options) journalCell(key string, mm *MixMetrics) {
+	if o.Journal == nil {
+		return
+	}
+	val, err := json.Marshal(mm)
+	if err == nil {
+		var rec []byte
+		if rec, err = json.Marshal(cellRecord{Key: key, Val: val}); err == nil {
+			err = o.Journal.Append(rec)
+		}
+	}
+	if err != nil {
+		slog.Warn("experiments: journal checkpoint failed", "key", key, "err", err)
+	}
+}
+
+// OpenSweepJournal opens the checkpoint journal at path. With
+// resume=false it starts fresh (truncating any prior journal). With
+// resume=true it replays the journal — tolerating a torn final record
+// from a crash mid-append — and seeds the in-process grid cache with
+// every completed cell, so the resumed sweep serves them as cache hits
+// instead of recomputing. It returns the journal positioned for further
+// appends and the number of cells resumed.
+func OpenSweepJournal(path string, resume bool) (*journal.Journal, int, error) {
+	if !resume {
+		j, err := journal.Create(path)
+		return j, 0, err
+	}
+	seeded := 0
+	j, err := journal.Open(path, func(rec []byte) error {
+		var cell cellRecord
+		if err := json.Unmarshal(rec, &cell); err != nil {
+			return fmt.Errorf("experiments: corrupt journal cell: %w", err)
+		}
+		gridCache.PutEncoded(cell.Key, cell.Val)
+		seeded++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return j, seeded, nil
+}
+
 // mixMetricsGrid evaluates every (mix, spec) pair through the shared
 // scheduler: grid[i][j] pairs mixes[i] with specs[j]. Pairs run
 // concurrently on up to Options.Parallel workers but are collected in
 // submission order, and each pair is an independent deterministic
 // simulation, so the grid is identical to nested sequential mixMetrics
 // calls. Simulation panics surface as panics, as they would sequentially.
+// When Options.Ctx is cancelled mid-grid the remaining cells error out
+// and the grid returns nil (completed cells are already checkpointed);
+// any other cell failure still panics.
 func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]MixMetrics {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Deadlines pass through to every pair; the queue stays unbounded
 	// because the grid submits all pairs up front by design.
 	sched := sim.NewSchedulerWith(sim.SchedulerConfig{
@@ -299,18 +377,20 @@ func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]Mi
 	for _, m := range mixes {
 		for _, s := range specs {
 			m, s := m, s
+			key := o.mixKey(m, s)
 			jobs = append(jobs, sim.Job{
-				Key:   o.mixKey(m, s),
+				Key:   key,
 				Label: fmt.Sprintf("%s under %s", m.Name, s.Name),
 				New:   func() any { return new(MixMetrics) },
 				Run: func(context.Context) (any, error) {
 					mm := o.mixMetrics(m, s)
+					o.journalCell(key, &mm)
 					return &mm, nil
 				},
 			})
 		}
 	}
-	outs := sched.RunAll(context.Background(), jobs)
+	outs := sched.RunAll(ctx, jobs)
 	grid := make([][]MixMetrics, len(mixes))
 	k := 0
 	for i := range mixes {
@@ -319,6 +399,11 @@ func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]Mi
 			out := outs[k]
 			k++
 			if out.Err != nil {
+				if ctx.Err() != nil {
+					// Interrupted, not broken: the caller reports the
+					// partial sweep and points at -resume.
+					return nil
+				}
 				panic(fmt.Sprintf("experiments: %s under %s: %v",
 					mixes[i].Name, specs[j].Name, out.Err))
 			}

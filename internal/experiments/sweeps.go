@@ -33,6 +33,9 @@ func (o Options) sweep(id int, title string, variants []PolicySpec) *SweepResult
 	mixes := o.mixes(4)
 	specs := append([]PolicySpec{Baseline()}, variants...)
 	grid := o.mixMetricsGrid(mixes, specs)
+	if grid == nil { // interrupted: partial results are journaled
+		return nil
+	}
 	baseWS := make([]float64, len(mixes))
 	for i := range mixes {
 		baseWS[i] = grid[i][0].WS
@@ -150,6 +153,9 @@ func AdaptiveStudy(o Options) *AdaptiveResult {
 	})
 	mixes := o.mixes(4)
 	grid := o.mixMetricsGrid(mixes, []PolicySpec{Baseline(), fixed, adaptive})
+	if grid == nil { // interrupted: partial results are journaled
+		return nil
+	}
 	var rFixed, rAdaptive []float64
 	for i := range mixes {
 		b := grid[i][0].WS

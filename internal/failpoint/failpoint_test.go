@@ -1,0 +1,104 @@
+package failpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFailpointDisabledIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("no site armed, Enabled() = true")
+	}
+	if err := Inject("never.armed"); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+}
+
+func TestFailpointErrorEveryHit(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := Inject("a.site")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i+1, err)
+		}
+	}
+	if got := Hits("a.site"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+	// Unrelated sites stay quiet while another site is armed.
+	if err := Inject("other.site"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestFailpointFireOnNthHit(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("nth.site", "error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Inject("nth.site")
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit 3 did not fire: %v", err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d fired unexpectedly: %v", i, err)
+		}
+	}
+}
+
+func TestFailpointPanicAction(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("p.site", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "p.site") {
+			t.Fatalf("recover() = %v, want panic naming the site", r)
+		}
+	}()
+	Inject("p.site")
+	t.Fatal("panic action did not panic")
+}
+
+func TestArmSpecParsesLists(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := ArmSpec("one=error, two=exit@7 ,three=panic@2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []string{"one", "two", "three"} {
+		mu.Lock()
+		_, ok := sites[site]
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("site %q not armed", site)
+		}
+	}
+	for _, bad := range []string{"x", "x=boom", "x=error@0", "x=exit@-1", "=error"} {
+		Reset()
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("d.site", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("d.site")
+	if err := Inject("d.site"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+	Disarm("d.site") // disarming twice is fine
+	if Enabled() {
+		t.Fatal("Enabled() after all sites disarmed")
+	}
+}

@@ -1,0 +1,262 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nucache/internal/failpoint"
+)
+
+func openAll(t *testing.T, path string) (*Journal, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	j, err := Open(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j, got
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("one"), []byte(`{"key":"two"}`), {}, []byte("four")}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Records() != len(recs) {
+		t.Fatalf("Records = %d, want %d", j.Records(), len(recs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got := openAll(t, path)
+	defer j2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+	if j2.ResumedRecords() != len(recs) || j2.TornTailsSeen() != 0 {
+		t.Fatalf("resumed=%d torn=%d, want %d/0", j2.ResumedRecords(), j2.TornTailsSeen(), len(recs))
+	}
+}
+
+// TestJournalTornTail cuts the file at every possible byte inside the
+// final record and checks that reopen always recovers the earlier
+// records, counts one torn tail, and appends cleanly afterwards.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	build := func(path string) {
+		j, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []string{"alpha", "beta", "gamma"} {
+			if err := j.Append([]byte(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := filepath.Join(dir, "ref")
+	build(ref)
+	whole, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := 8 + len("gamma")
+	goodEnd := len(whole) - lastLen
+	for cut := goodEnd + 1; cut < len(whole); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("torn-%d", cut))
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, got := openAll(t, path)
+		if len(got) != 2 {
+			t.Fatalf("cut at %d: replayed %d records, want 2", cut, len(got))
+		}
+		if j.TornTailsSeen() != 1 {
+			t.Fatalf("cut at %d: torn tails = %d, want 1", cut, j.TornTailsSeen())
+		}
+		// The torn cell recomputes and re-appends; reopen must then see 3.
+		if err := j.Append([]byte("gamma")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, got2 := openAll(t, path)
+		j2.Close()
+		if len(got2) != 3 || string(got2[2]) != "gamma" {
+			t.Fatalf("cut at %d: after re-append got %d records (%q)", cut, len(got2), got2)
+		}
+	}
+}
+
+// TestJournalBitFlip flips one byte inside an early record: the
+// corruption severs that record and everything after it (sequential
+// framing), and appends after reopen remain durable.
+func TestJournalBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"alpha", "beta", "gamma"} {
+		if err := j.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[4+len("alpha")+4+4+1] ^= 0x40 // inside "beta"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, got := openAll(t, path)
+	defer j2.Close()
+	if len(got) != 1 || string(got[0]) != "alpha" {
+		t.Fatalf("replayed %q, want just alpha", got)
+	}
+	if j2.TornTailsSeen() != 1 {
+		t.Fatalf("torn tails = %d, want 1", j2.TornTailsSeen())
+	}
+}
+
+func TestJournalOpenCreatesMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh")
+	j, err := Open(path, func([]byte) error {
+		t.Fatal("replay callback on an empty journal")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Records() != 0 {
+		t.Fatalf("Records = %d, want 0", j.Records())
+	}
+	if err := j.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReplayErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _ := Create(path)
+	j.Append([]byte("x"))
+	j.Close()
+	want := errors.New("boom")
+	if _, err := Open(path, func([]byte) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Open err = %v, want wrapped boom", err)
+	}
+}
+
+// TestJournalAppendFailpointRewinds arms the torn-write failpoint with
+// an error action: the append fails, the partial record is rewound, and
+// the journal stays consistent for both further appends and reopen.
+func TestJournalAppendFailpointRewinds(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("journal.append.torn", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("lost")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("append err = %v, want injected", err)
+	}
+	failpoint.Reset()
+	if err := j.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, got := openAll(t, path)
+	j2.Close()
+	if len(got) != 2 || string(got[0]) != "keep" || string(got[1]) != "after" {
+		t.Fatalf("records after rewind = %q, want [keep after]", got)
+	}
+
+	// The pre-write site fails before any byte lands.
+	if err := failpoint.Arm("journal.append", "error"); err != nil {
+		t.Fatal(err)
+	}
+	j3, _ := openAll(t, path)
+	if err := j3.Append([]byte("nope")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("append err = %v, want injected", err)
+	}
+	failpoint.Reset()
+	j3.Close()
+	j4, got4 := openAll(t, path)
+	j4.Close()
+	if len(got4) != 2 {
+		t.Fatalf("records = %d, want 2", len(got4))
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append([]byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	j2, got := openAll(t, path)
+	j2.Close()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range got {
+		seen[string(r)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("duplicate/interleaved records: %d unique of %d", len(seen), n)
+	}
+}
+
+func TestJournalRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _ := Create(path)
+	defer j.Close()
+	if err := j.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

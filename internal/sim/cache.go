@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"nucache/internal/failpoint"
 )
 
 // Cache is a content-addressed result store: an in-memory LRU over
@@ -24,6 +26,12 @@ import (
 // and a failing disk (read-only remount, volume full) degrades the
 // cache to memory-only mode with a logged warning instead of failing
 // requests.
+//
+// Disk entries are written inside an integrity envelope — the payload
+// plus its SHA-256 — so corruption that still parses as JSON (a bit
+// flip inside a float, a truncated-then-patched file) is detected by
+// checksum instead of being served as truth. Pre-envelope entries (raw
+// payload JSON) still load, so existing caches survive the upgrade.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
@@ -99,12 +107,54 @@ func (c *Cache) Get(key string, into any) bool {
 	if err != nil {
 		return false
 	}
-	if err := json.Unmarshal(data, into); err != nil {
+	payload, err := openEnvelope(data)
+	if err != nil {
 		c.quarantine(path, err)
 		return false
 	}
-	c.putBytes(key, data)
+	if err := json.Unmarshal(payload, into); err != nil {
+		c.quarantine(path, err)
+		return false
+	}
+	c.putBytes(key, payload)
 	return true
+}
+
+// diskEnvelope wraps a disk entry's payload with its own SHA-256 so
+// bit rot is detected by checksum, not by whether it happens to break
+// JSON syntax.
+type diskEnvelope struct {
+	V      int             `json:"v"`
+	SHA256 string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// sealEnvelope wraps a payload for the disk tier.
+func sealEnvelope(payload []byte) ([]byte, error) {
+	sum := sha256.Sum256(payload)
+	return json.Marshal(diskEnvelope{V: 1, SHA256: hex.EncodeToString(sum[:]), Payload: payload})
+}
+
+// openEnvelope extracts and verifies a disk entry's payload. Entries
+// written before the envelope existed (raw payload JSON, no checksum)
+// pass through unchanged — they lack the envelope's marker fields, and
+// no cached Result ever had a top-level "sha256" — so old caches keep
+// loading; checksum mismatches count in nucache_cache_checksum_fails
+// and surface as errors for the quarantine path.
+func openEnvelope(data []byte) ([]byte, error) {
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	if env.V == 0 || env.SHA256 == "" || env.Payload == nil {
+		return data, nil // legacy raw-payload entry
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		CacheChecksumFails.Add(1)
+		return nil, fmt.Errorf("sim: cache entry checksum mismatch: payload sha256 %s, envelope says %s", got, env.SHA256)
+	}
+	return env.Payload, nil
 }
 
 // evict removes a known-bad memory entry, tolerating concurrent
@@ -162,16 +212,32 @@ func (c *Cache) Put(key string, v any) error {
 }
 
 func (c *Cache) writeDisk(key string, data []byte) error {
+	if err := failpoint.Inject("sim.cache.write"); err != nil {
+		return err
+	}
+	sealed, err := sealEnvelope(data)
+	if err != nil {
+		return err
+	}
 	path := c.diskPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
 	// Write-then-rename keeps readers from seeing partial files.
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, sealed, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// PutEncoded stores an already-marshaled JSON value under the key in
+// the in-memory tier only. It is the journal-resume seeding path: a
+// checkpointed cell's bytes go straight back into the cache, so the
+// resumed sweep decodes exactly what the original run computed (JSON
+// round-trips float64 exactly) without touching the disk tier.
+func (c *Cache) PutEncoded(key string, data []byte) {
+	c.putBytes(key, append([]byte(nil), data...))
 }
 
 func (c *Cache) putBytes(key string, data []byte) {

@@ -37,6 +37,10 @@ var (
 	CacheMisses = expvar.NewInt("nucache_cache_misses")
 	// CacheQuarantined counts corrupt disk-cache entries moved aside.
 	CacheQuarantined = expvar.NewInt("nucache_cache_quarantined")
+	// CacheChecksumFails counts disk-cache entries whose integrity
+	// envelope failed verification (corrupt-but-parseable JSON); every
+	// such entry is also quarantined.
+	CacheChecksumFails = expvar.NewInt("nucache_cache_checksum_fails")
 	// CacheDiskErrors counts disk-tier write failures (the first one
 	// degrades that cache to memory-only mode).
 	CacheDiskErrors = expvar.NewInt("nucache_cache_disk_errors")
@@ -58,4 +62,5 @@ var (
 func init() {
 	expvar.Publish("nucache_traces_recorded", expvar.Func(func() any { return cpu.TapesRecorded() }))
 	expvar.Publish("nucache_trace_bytes", expvar.Func(func() any { return cpu.TapeBytes() }))
+	expvar.Publish("nucache_tape_checksum_fails", expvar.Func(func() any { return cpu.TapeChecksumFails() }))
 }

@@ -1,0 +1,194 @@
+package sim
+
+// End-to-end integrity tests for the disk result cache's sha256
+// envelope: corrupt-but-parseable entries (which the pre-envelope
+// format served as truth) must be detected by checksum, quarantined,
+// and recomputed; legacy raw-payload entries must still load.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nucache/internal/failpoint"
+)
+
+func diskEntryPath(t *testing.T, c *Cache, key string) string {
+	t.Helper()
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCacheEnvelopeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(4, dir)
+	key := Request{Bench: "art-like", Budget: 321}.Key()
+	want := Result{Mix: "envelope-roundtrip"}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk entry is enveloped: versioned, checksummed, payload intact.
+	raw, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("disk entry is not an envelope: %v\n%s", err, raw)
+	}
+	if env.V != 1 || len(env.SHA256) != 64 || env.Payload == nil {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+
+	// A fresh cache (cold memory tier) reads through the envelope.
+	c2 := NewCache(4, dir)
+	var got Result
+	if !c2.Get(key, &got) {
+		t.Fatal("enveloped entry missed")
+	}
+	if got.Mix != want.Mix {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestCacheLegacyEntryStillLoads(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(4, dir)
+	key := Request{Bench: "art-like", Budget: 654}.Key()
+	// A pre-envelope entry: the raw value JSON, no checksum.
+	legacy, err := json.Marshal(Result{Mix: "legacy-format"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(diskEntryPath(t, c, key), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failsBefore := CacheChecksumFails.Value()
+	qBefore := CacheQuarantined.Value()
+	var got Result
+	if !c.Get(key, &got) {
+		t.Fatal("legacy entry missed")
+	}
+	if got.Mix != "legacy-format" {
+		t.Fatalf("legacy decode: %+v", got)
+	}
+	if CacheChecksumFails.Value() != failsBefore || CacheQuarantined.Value() != qBefore {
+		t.Fatal("legacy load miscounted as corruption")
+	}
+}
+
+// TestCacheChecksumCatchesParseableCorruption flips one byte inside the
+// payload of a valid envelope — the file still parses as JSON, which the
+// pre-envelope cache served as truth — and checks it is detected,
+// counted, quarantined, and healed by recomputation.
+func TestCacheChecksumCatchesParseableCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(4, dir)
+	key := Request{Bench: "art-like", Budget: 987}.Key()
+	if err := c.Put(key, Result{Mix: "pristine"}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.diskPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload's value, not its structure: "pristine" ->
+	// "Xristine" keeps the JSON valid, so only the checksum can object.
+	corrupt := strings.Replace(string(raw), "pristine", "Xristine", 1)
+	if corrupt == string(raw) {
+		t.Fatal("corruption had no effect")
+	}
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	failsBefore := CacheChecksumFails.Value()
+	qBefore := CacheQuarantined.Value()
+	c2 := NewCache(4, dir) // cold memory tier: forces the disk read
+	var got Result
+	if c2.Get(key, &got) {
+		t.Fatalf("checksum-corrupt entry served as a hit: %+v", got)
+	}
+	if CacheChecksumFails.Value() != failsBefore+1 {
+		t.Fatal("checksum failure not counted")
+	}
+	if CacheQuarantined.Value() != qBefore+1 {
+		t.Fatal("checksum-corrupt entry not quarantined")
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+
+	// Degrade, don't fail: the key recomputes and serves again.
+	if err := c2.Put(key, Result{Mix: "healed"}); err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewCache(4, dir)
+	if !c3.Get(key, &got) || got.Mix != "healed" {
+		t.Fatalf("healed entry not served: %+v", got)
+	}
+}
+
+// TestCacheWriteFailpointDegrades arms the sim.cache.write site: the
+// disk tier fails exactly as a full or read-only volume would, and the
+// cache degrades to memory-only mode without failing the Put.
+func TestCacheWriteFailpointDegrades(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	if err := failpoint.Arm("sim.cache.write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c := NewCache(4, dir)
+	errsBefore := CacheDiskErrors.Value()
+	if err := c.Put("k1", Result{Mix: "memory-only"}); err != nil {
+		t.Fatalf("Put must not fail when the disk tier degrades: %v", err)
+	}
+	if c.DiskHealthy() {
+		t.Fatal("disk tier still healthy after injected write failure")
+	}
+	if CacheDiskErrors.Value() != errsBefore+1 {
+		t.Fatal("disk error not counted")
+	}
+	// The in-memory tier still serves.
+	var got Result
+	if !c.Get("k1", &got) || got.Mix != "memory-only" {
+		t.Fatalf("memory tier lost the value: %+v", got)
+	}
+	// And nothing landed on disk.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("degraded cache wrote %d entries", len(entries))
+	}
+}
+
+// TestSchedulerJobFailpoint arms the dispatch-boundary site on the 2nd
+// hit: the first job succeeds, the second fails with the injected error
+// through the normal outcome path (no panic, no hang), the third runs
+// clean again.
+func TestSchedulerJobFailpoint(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	if err := failpoint.Arm("sim.sched.job", "error@2"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(2, nil)
+	job := Job{Run: func(context.Context) (any, error) { return 1, nil }}
+	if out := s.Do(context.Background(), job); out.Err != nil {
+		t.Fatalf("job 1: %v", out.Err)
+	}
+	out := s.Do(context.Background(), job)
+	if !errors.Is(out.Err, failpoint.ErrInjected) {
+		t.Fatalf("job 2 err = %v, want injected", out.Err)
+	}
+	if out := s.Do(context.Background(), job); out.Err != nil {
+		t.Fatalf("job 3: %v", out.Err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"nucache/internal/cache"
 	"nucache/internal/cpu"
+	"nucache/internal/failpoint"
 	"nucache/internal/trace"
 	"nucache/internal/workload"
 )
@@ -102,6 +103,13 @@ func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, see
 			return nil, nil, nil, false
 		}
 		tapes[i] = t
+	}
+	// The cpu.replay.run failpoint fails (or kills) a simulation at the
+	// moment it commits to the replay path; an error here exercises the
+	// same fall-back-to-direct-simulation edge a dead tape would.
+	if err := failpoint.Inject("cpu.replay.run"); err != nil {
+		TraceFallbacks.Add(1)
+		return nil, nil, nil, false
 	}
 	pol := newPol()
 	rs := cpu.NewReplaySystem(cfg, pol, tapes)

@@ -3,6 +3,7 @@ package sim
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"nucache/internal/cache"
 	"nucache/internal/cpu"
@@ -15,7 +16,23 @@ import (
 // amount whether the run went through replay or direct simulation — and
 // layers above never count again (cache hits are covered by the
 // experiments-level test on the grid cache).
+// drainBackground waits until no scheduler job is executing anywhere in
+// the process. Deadline-abandoned jobs from earlier tests finish in the
+// background by design and add to InstructionsRetired when they do; a
+// delta measured while one is still running is meaningless.
+func drainBackground(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for JobsRunning.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d background jobs still running", JobsRunning.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestRetiredAccountingReplayVsDirect(t *testing.T) {
+	drainBackground(t)
 	cfg := cpu.DefaultConfig(2)
 	cfg.InstrBudget = 40_000
 	mix := workload.Mix{Name: "retired-test", Members: []string{"art-like", "swim-like"}}
@@ -55,6 +72,7 @@ func TestRetiredAccountingReplayVsDirect(t *testing.T) {
 // RunMachineOneShot replays only tapes some other run already recorded;
 // either way its accounting matches the direct run.
 func TestRetiredAccountingOneShot(t *testing.T) {
+	drainBackground(t)
 	cfg := cpu.DefaultConfig(1)
 	cfg.InstrBudget = 40_000
 	alone := workload.Mix{Name: "retired-oneshot", Members: []string{"mcf-like"}}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nucache/internal/failpoint"
 )
 
 // Job is one unit of simulation work for the scheduler.
@@ -246,6 +248,12 @@ func (s *Scheduler) attempt(ctx context.Context, job Job, cacheable bool) Outcom
 		QueueDepth.Add(-1)
 	}
 	defer func() { <-s.sem }()
+	// Acquiring a slot can race a cancellation (the select above has both
+	// channels ready); without this check a cancelled fan-out would keep
+	// dispatching jobs as slots free up instead of draining promptly.
+	if err := ctx.Err(); err != nil {
+		return Outcome{Err: err}
+	}
 
 	// A job that has started runs to completion even if the caller goes
 	// away (cancellation reaches the body cooperatively through its
@@ -412,7 +420,9 @@ func labelOf(job Job) string {
 }
 
 // runProtected invokes the job body, converting panics to errors so one
-// bad simulation cannot take down a sweep or the serving process.
+// bad simulation cannot take down a sweep or the serving process. The
+// sim.sched.job failpoint sits at the dispatch boundary: the chaos
+// suite kills or fails a sweep right as a grid cell starts executing.
 func runProtected(ctx context.Context, job Job) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -420,5 +430,8 @@ func runProtected(ctx context.Context, job Job) (v any, err error) {
 				"sim: job %s panicked: %v", labelOf(job), r)}
 		}
 	}()
+	if err := failpoint.Inject("sim.sched.job"); err != nil {
+		return nil, err
+	}
 	return job.Run(ctx)
 }

@@ -209,19 +209,33 @@ func (c *FilteredCursor) Next(ev *FilteredEvent) (bool, error) {
 	if len(buf) == 0 {
 		return false, fmt.Errorf("trace: filtered tape truncated at event %d", c.decoded)
 	}
+	// Every varint read is bounds-checked individually: a truncated or
+	// bit-flipped tape must surface as an error (the caller falls back to
+	// direct simulation), never as a panic or a silent mis-decode. An
+	// unchecked k<=0 would leave n stuck (truncation) or drag it
+	// backwards (overlong varint ⇒ negative k ⇒ out-of-range index).
 	flags := buf[0]
 	n := 1
 	da, k := uvarint(buf, n)
-	n += k
-	dp, k := uvarint(buf, n)
-	n += k
-	cyc, k := uvarint(buf, n)
-	n += k
-	ins, k := uvarint(buf, n)
-	n += k
 	if k <= 0 {
 		return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
 	}
+	n += k
+	dp, k := uvarint(buf, n)
+	if k <= 0 {
+		return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
+	}
+	n += k
+	cyc, k := uvarint(buf, n)
+	if k <= 0 {
+		return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
+	}
+	n += k
+	ins, k := uvarint(buf, n)
+	if k <= 0 {
+		return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
+	}
+	n += k
 	c.prevAddr += uint64(unzigzag(da))
 	c.prevPC += uint64(unzigzag(dp))
 	ev.Addr = c.prevAddr
@@ -235,12 +249,15 @@ func (c *FilteredCursor) Next(ev *FilteredEvent) (bool, error) {
 	ev.HasWB = flags&flagWB != 0
 	if ev.HasWB {
 		dwa, k2 := uvarint(buf, n)
-		n += k2
-		dwp, k2 := uvarint(buf, n)
-		n += k2
 		if k2 <= 0 {
 			return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
 		}
+		n += k2
+		dwp, k2 := uvarint(buf, n)
+		if k2 <= 0 {
+			return false, fmt.Errorf("trace: corrupt filtered tape at event %d", c.decoded)
+		}
+		n += k2
 		ev.WBAddr = ev.Addr + uint64(unzigzag(dwa))
 		ev.WBPC = ev.PC + uint64(unzigzag(dwp))
 	} else {

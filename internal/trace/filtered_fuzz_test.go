@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+)
+
+// fuzzTape builds a small valid tape for the seed corpus.
+func fuzzTape() *FilteredTrace {
+	tr := &FilteredTrace{}
+	evs := []FilteredEvent{
+		{Addr: 0x1000, PC: 0x400000, Kind: Load, CycleGap: 3, InstrGap: 2},
+		{Addr: 0x40, PC: 0x400004, Kind: Store, CycleGap: 900, InstrGap: 130,
+			HasWB: true, WBAddr: 0x7fc0, WBPC: 0x400008},
+		{Addr: 0xdeadbeef00, PC: 0x7ffffff0, Kind: Load, CycleGap: 0, InstrGap: 0},
+		{Addr: 0x1000, PC: 0x400000, Kind: Store, CycleGap: 1 << 30, InstrGap: 1 << 20,
+			HasWB: true, WBAddr: 0, WBPC: 0},
+	}
+	for _, ev := range evs {
+		tr.AppendEvent(ev)
+	}
+	return tr
+}
+
+// FuzzFilteredDecode throws truncated, bit-flipped and arbitrary byte
+// strings at the delta/varint event decoder. The contract under
+// corruption: Next returns an error (callers then fall back to direct
+// simulation) or cleanly reports exhaustion — it must never panic,
+// never loop without consuming input, and never read out of bounds.
+// Silent mis-decodes of *valid* tapes are covered by the differential
+// replay suite; here the decoded values are unconstrained, only the
+// decoder's memory safety and termination are.
+func FuzzFilteredDecode(f *testing.F) {
+	tr := fuzzTape()
+	buf, events, _ := tr.Snapshot()
+	f.Add(append([]byte(nil), buf...), events)
+	f.Add(append([]byte(nil), buf[:len(buf)-1]...), events) // truncated tail
+	f.Add(append([]byte(nil), buf[:1]...), events)          // flags byte only
+	flip := append([]byte(nil), buf...)
+	flip[len(flip)/2] ^= 0x80 // turn a terminal varint byte into a continuation
+	f.Add(flip, events)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint64(4))
+	f.Add([]byte{}, uint64(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, claimed uint64) {
+		// The claimed event count is attacker-controlled too (it comes
+		// from the same tape state the bytes do); bound only the test's
+		// runtime, not the decoder's input.
+		if claimed > uint64(len(data))+16 {
+			claimed = uint64(len(data)) + 16
+		}
+		var c FilteredCursor
+		c.Rebase(data, claimed)
+		var ev FilteredEvent
+		prevOff := 0
+		for {
+			ok, err := c.Next(&ev)
+			if err != nil {
+				return // detected corruption: the required outcome
+			}
+			if !ok {
+				return // snapshot exhausted
+			}
+			if c.off <= prevOff {
+				t.Fatalf("decoder made no progress at offset %d", c.off)
+			}
+			prevOff = c.off
+		}
+	})
+}
+
+// TestFilteredDecodeTruncations exhaustively truncates a valid tape at
+// every byte: each prefix must decode some events and then stop with
+// (false, nil) at an event boundary or an error inside one — never a
+// panic and never a fabricated event from half-read bytes.
+func TestFilteredDecodeTruncations(t *testing.T) {
+	tr := fuzzTape()
+	buf, events, _ := tr.Snapshot()
+	for cut := 0; cut <= len(buf); cut++ {
+		var c FilteredCursor
+		c.Rebase(buf[:cut], events)
+		var ev FilteredEvent
+		n := uint64(0)
+		for {
+			ok, err := c.Next(&ev)
+			if err != nil {
+				break
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if cut == len(buf) && n != events {
+			t.Fatalf("full tape decoded %d of %d events", n, events)
+		}
+		if n > events {
+			t.Fatalf("cut at %d: decoded %d events from a %d-event tape", cut, n, events)
+		}
+	}
+}
