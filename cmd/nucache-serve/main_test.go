@@ -168,3 +168,153 @@ func TestSimEndpoint(t *testing.T) {
 			*vars.ChecksumFails, *vars.TapeChecksums, *vars.FailpointsFired)
 	}
 }
+
+// serveVars is the expvar slice the advisor tests watch.
+type serveVars struct {
+	JobsQueued       int64    `json:"nucache_jobs_queued"`
+	ProfilesBuilt    int64    `json:"nucache_mrc_profiles_built"`
+	ProfileCacheHits int64    `json:"nucache_mrc_profile_cache_hits"`
+	AdviseRequests   int64    `json:"nucache_advise_requests"`
+	VerifyMaxErr     *float64 `json:"nucache_advise_verify_max_err"`
+}
+
+func getServeVars(t *testing.T, base string) serveVars {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	var v serveVars
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("expvars: %v", err)
+	}
+	return v
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// TestProfileAdviseFlow drives the capacity-advisor API end to end:
+// profile once, answer what-ifs from the cached artifact with zero jobs
+// queued, then verify one answer against the full simulation.
+func TestProfileAdviseFlow(t *testing.T) {
+	_, base := startServer(t)
+	const spec = `"mix":"mix2-01","budget":100000`
+
+	// 1. Profiling pass: builds and caches the artifact.
+	code, raw := postJSON(t, base+"/v1/profile", `{`+spec+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("profile status = %d, body %s", code, raw)
+	}
+	var prof struct {
+		Key     string `json:"key"`
+		Profile struct {
+			Cores int `json:"cores"`
+			Ways  int `json:"ways"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal(raw, &prof); err != nil {
+		t.Fatalf("profile response: %v\n%s", err, raw)
+	}
+	if len(prof.Key) != 64 || prof.Profile.Cores != 2 || prof.Profile.Ways == 0 {
+		t.Fatalf("unexpected profile response: %s", raw)
+	}
+	v1 := getServeVars(t, base)
+	if v1.ProfilesBuilt != 1 {
+		t.Fatalf("mrc_profiles_built = %d after one profiling pass", v1.ProfilesBuilt)
+	}
+
+	// 2. A what-if against the cached profile answers WITHOUT queueing
+	// any job: the advisor's whole point is no simulation on this path.
+	code, raw = postJSON(t, base+"/v1/advise", `{`+spec+`,"policy":"part","best":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("advise status = %d, body %s", code, raw)
+	}
+	var adv struct {
+		ProfileKey    string `json:"profile_key"`
+		ProfileCached bool   `json:"profile_cached"`
+		EvalNS        int64  `json:"eval_ns"`
+		Prediction    struct {
+			HitsExact bool  `json:"hits_exact"`
+			Alloc     []int `json:"alloc"`
+			Evaluated int   `json:"evaluated"`
+		} `json:"prediction"`
+	}
+	if err := json.Unmarshal(raw, &adv); err != nil {
+		t.Fatalf("advise response: %v\n%s", err, raw)
+	}
+	if adv.ProfileKey != prof.Key || !adv.ProfileCached {
+		t.Fatalf("advise did not reuse the cached profile: %s", raw)
+	}
+	if !adv.Prediction.HitsExact || adv.Prediction.Evaluated < 2 || adv.EvalNS <= 0 {
+		t.Fatalf("unexpected best-partition answer: %s", raw)
+	}
+	v2 := getServeVars(t, base)
+	if v2.JobsQueued != v1.JobsQueued {
+		t.Fatalf("cached advise queued a job: jobs_queued %d -> %d", v1.JobsQueued, v2.JobsQueued)
+	}
+	if v2.AdviseRequests != 1 || v2.ProfileCacheHits < 1 {
+		t.Fatalf("advisor expvars wrong: advise_requests=%d cache_hits=%d",
+			v2.AdviseRequests, v2.ProfileCacheHits)
+	}
+
+	// 3. Verified what-if: the simulation must confirm the exact
+	// contract on the flat default machine, and the delta gauge stays
+	// published (and zero).
+	code, raw = postJSON(t, base+"/v1/advise", `{`+spec+`,"policy":"part","alloc":[10,6],"verify":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("verified advise status = %d, body %s", code, raw)
+	}
+	var ver struct {
+		Verify struct {
+			HitsExact     bool    `json:"hits_exact"`
+			MaxHitsAbsErr uint64  `json:"max_hits_abs_err"`
+			MaxIPCRelErr  float64 `json:"max_ipc_rel_err"`
+		} `json:"verify"`
+	}
+	if err := json.Unmarshal(raw, &ver); err != nil {
+		t.Fatalf("verified advise response: %v\n%s", err, raw)
+	}
+	if !ver.Verify.HitsExact || ver.Verify.MaxHitsAbsErr != 0 || ver.Verify.MaxIPCRelErr != 0 {
+		t.Fatalf("verify contradicts the exactness contract: %s", raw)
+	}
+	v3 := getServeVars(t, base)
+	if v3.JobsQueued <= v2.JobsQueued {
+		t.Fatal("verified advise did not queue the verification simulation")
+	}
+	if v3.VerifyMaxErr == nil || *v3.VerifyMaxErr != 0 {
+		t.Fatalf("advise_verify_max_err = %v, want published 0", v3.VerifyMaxErr)
+	}
+	if v3.AdviseRequests != 2 {
+		t.Fatalf("advise_requests = %d after two advises", v3.AdviseRequests)
+	}
+
+	// 4. The catalog advertises the advisor endpoints.
+	resp, err := http.Get(base + "/v1/catalog")
+	if err != nil {
+		t.Fatalf("GET /v1/catalog: %v", err)
+	}
+	defer resp.Body.Close()
+	var cat struct {
+		Endpoints []string `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	have := map[string]bool{}
+	for _, e := range cat.Endpoints {
+		have[e] = true
+	}
+	if !have["POST /v1/profile"] || !have["POST /v1/advise"] {
+		t.Fatalf("catalog does not advertise the advisor endpoints: %v", cat.Endpoints)
+	}
+}

@@ -197,3 +197,57 @@ func TestSigintCheckpointsAndExitsCleanly(t *testing.T) {
 	}
 	j.Close()
 }
+
+// profileSweepArgs is the advisor-sweep workload for the chaos suite: 2
+// mixes, so the journal holds 2 advisor cells.
+func profileSweepArgs(journalPath string, resume bool) []string {
+	args := []string{
+		"-sweep", "profiles", "-budget", "50000", "-mixlimit", "2",
+		"-parallel", "2", "-journal", journalPath,
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	return args
+}
+
+// TestChaosProfileSweepKillAndResume extends the crash-safety contract
+// to the capacity-advisor sweep: a run killed inside the profiling pass
+// (the mrc.profile.build failpoint) must resume from its journal with
+// output byte-identical to an uninterrupted golden run.
+func TestChaosProfileSweepKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	goldenOut, goldenErr, err := runMain(t, profileSweepArgs(filepath.Join(dir, "golden.journal"), false)...)
+	if err != nil {
+		t.Fatalf("golden run failed: %v\nstderr: %s", err, goldenErr)
+	}
+	if !strings.Contains(goldenErr, "2 records (0 resumed, 0 torn tails)") {
+		t.Fatalf("golden journal summary missing or wrong:\n%s", goldenErr)
+	}
+	golden := stripTimings(goldenOut)
+
+	jpath := filepath.Join(dir, "mrc_profile_build.journal")
+	spec := "mrc.profile.build=exit@1"
+	t.Logf("arming %s", spec)
+	_, crashErr, err := runMainEnv(t, []string{failpoint.EnvVar + "=" + spec},
+		profileSweepArgs(jpath, false)...)
+	var exit *exec.ExitError
+	if err == nil {
+		t.Fatalf("sweep survived %s", spec)
+	}
+	if !errors.As(err, &exit) || exit.ExitCode() != failpoint.ExitCode {
+		t.Fatalf("crash exit = %v, want code %d\nstderr: %s", err, failpoint.ExitCode, crashErr)
+	}
+
+	out, errOut, err := runMain(t, profileSweepArgs(jpath, true)...)
+	if err != nil {
+		t.Fatalf("resume after %s failed: %v\nstderr: %s", spec, err, errOut)
+	}
+	if got := stripTimings(out); got != golden {
+		t.Fatalf("resume after %s diverged from golden run\n--- golden ---\n%s\n--- resumed ---\n%s",
+			spec, golden, got)
+	}
+	if !strings.Contains(errOut, "2 records (") {
+		t.Fatalf("resumed journal summary missing:\n%s", errOut)
+	}
+}

@@ -1,7 +1,9 @@
 // Command nucache-sweep runs the sensitivity studies (E9/E10/E12/E13):
 // DeliWays split, PC-selection ablations, epoch length and monitor
 // sampling, each as geometric-mean weighted-speedup gain over LRU on the
-// standard 4-core mixes.
+// standard 4-core mixes — plus the capacity-advisor study (E21), which
+// profiles each mix once and answers the partition search from the
+// model ("profiles").
 //
 // Sweeps fan out across all host cores through the internal/sim
 // scheduler (see -parallel); repeated (mix, policy) evaluations — e.g.
@@ -40,7 +42,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("sweep", "all", "deliways|ablations|epoch|sampling|all")
+		which    = flag.String("sweep", "all", "deliways|ablations|epoch|sampling|profiles|all")
 		budget   = flag.Uint64("budget", 2_000_000, "instruction budget per core")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		mixLimit = flag.Int("mixlimit", 0, "truncate the 4-core mix list (0 = all)")
@@ -89,8 +91,9 @@ func main() {
 		"ablations": experiments.PCCountSweep,
 		"epoch":     experiments.EpochSweep,
 		"sampling":  experiments.SamplingSweep,
+		"profiles":  experiments.ProfileAdvisorSweep,
 	}
-	order := []string{"deliways", "ablations", "epoch", "sampling"}
+	order := []string{"deliways", "ablations", "epoch", "sampling", "profiles"}
 
 	ran := 0
 	for _, name := range order {
@@ -112,7 +115,7 @@ func main() {
 		return // clean exit: the journal holds everything computed so far
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "nucache-sweep: unknown sweep %q (deliways|ablations|epoch|sampling|all)\n", *which)
+		fmt.Fprintf(os.Stderr, "nucache-sweep: unknown sweep %q (deliways|ablations|epoch|sampling|profiles|all)\n", *which)
 		os.Exit(2)
 	}
 	journalSummary(jnl)

@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"fmt"
+
+	"nucache/internal/trace"
+)
+
+// TapeVisitor consumes one core's LLC-bound access stream during a
+// profiling walk (WalkTape). Access is called once per LLC access in
+// the exact order the replay engine would issue them: the demand access,
+// then its prefetch fan-out, then the posted writeback (demand=false for
+// the latter two). Crossing is called at the same points the replay
+// engine applies statistic crossings; returning false stops the walk.
+type TapeVisitor interface {
+	Access(addr, pc uint64, kind trace.Kind, demand bool)
+	Crossing(cr trace.Crossing) bool
+}
+
+// WalkTape walks one core's recorded tape through a visitor, applying
+// the same per-core address/PC tagging and access fan-out as replay but
+// with no LLC model and no timing: the visitor sees the policy-
+// independent access stream, which is what MRC profiling shadows.
+func WalkTape(cfg Config, coreIndex int, t *Tape, v TapeVisitor) error {
+	var (
+		view      tapeView
+		walked    uint64 // events delivered to the visitor
+		nextCross int
+		streaming bool
+		cur       trace.FilteredCursor
+		wbIdx     uint64
+		ev        trace.FilteredEvent
+	)
+	addrTag := uint64(coreIndex) << coreAddrShift
+	pcTag := uint64(coreIndex) << corePCShift
+	lineBytes := uint64(cfg.LLC.LineBytes)
+	for {
+		// Deliver every crossing due at or before the current position:
+		// off-event crossings at ordinal `walked` precede the next event,
+		// and an on-event crossing of the event just delivered has
+		// AfterEvents == walked after the increment below. Both match the
+		// replay engine's delivery points.
+		for nextCross < len(view.cross) && view.cross[nextCross].AfterEvents <= walked {
+			cr := view.cross[nextCross]
+			nextCross++
+			if !v.Crossing(cr) {
+				return nil
+			}
+		}
+		switch {
+		case walked < view.decCount:
+			e := &view.decPages[walked>>decPageShift][walked&decPageMask]
+			w0, w1 := e.w0, e.w1
+			ev.Addr = w0 & (1<<decAddrBits - 1)
+			ev.PC = w1 & (1<<decPCBits - 1)
+			ev.Kind = trace.Load
+			if w0&decStoreBit != 0 {
+				ev.Kind = trace.Store
+			}
+			if w0&decWBBit != 0 {
+				wb := &view.wbPages[wbIdx>>wbPageShift][wbIdx&wbPageMask]
+				ev.HasWB, ev.WBAddr, ev.WBPC = true, wb.addr, wb.pc
+				wbIdx++
+			} else {
+				ev.HasWB = false
+			}
+		case walked < view.events:
+			if !streaming {
+				streaming = true
+				cur = view.overflow
+			}
+			ok, err := cur.Next(&ev)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("cpu: walk core %d: packed tape short of event %d", coreIndex, walked)
+			}
+		case view.complete:
+			return nil
+		default:
+			nv, err := t.snapshot(walked)
+			if err != nil {
+				return err
+			}
+			view = nv
+			if streaming {
+				cur.Rebase(nv.buf, nv.events)
+			}
+			continue
+		}
+		// Mirror playEvent's LLC access order exactly.
+		addr := ev.Addr + addrTag
+		pc := ev.PC | pcTag
+		v.Access(addr, pc, ev.Kind, true)
+		for d := 1; d <= cfg.PrefetchDegree; d++ {
+			v.Access(addr+uint64(d)*lineBytes, pc, trace.Load, false)
+		}
+		if ev.HasWB {
+			v.Access(ev.WBAddr+addrTag, ev.WBPC|pcTag, trace.Store, false)
+		}
+		walked++
+	}
+}

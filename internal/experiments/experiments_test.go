@@ -307,3 +307,28 @@ func TestAdaptiveStudyShape(t *testing.T) {
 		t.Fatal("table rows")
 	}
 }
+
+func TestProfileAdvisorSweepShape(t *testing.T) {
+	o := quickOpts()
+	o.Budget = 100_000
+	res := ProfileAdvisorSweep(o)
+	if res == nil || len(res.Points) != 2 {
+		t.Fatalf("advisor sweep returned %+v", res)
+	}
+	if res.Column == "" {
+		t.Error("advisor sweep must override the table column header")
+	}
+	for _, p := range res.Points {
+		// The even split is in the search space, so the best static
+		// partition can never predict worse than it.
+		if p.Geomean < 1 {
+			t.Errorf("%s: best/even ratio %.4f < 1", p.Label, p.Geomean)
+		}
+		if !strings.Contains(p.Label, "best=") || !strings.Contains(p.Label, "D*=") {
+			t.Errorf("label does not name the answers: %q", p.Label)
+		}
+	}
+	if res.Table().NumRows() != len(res.Points) {
+		t.Fatal("table rows mismatch")
+	}
+}

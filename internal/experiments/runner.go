@@ -306,13 +306,14 @@ type cellRecord struct {
 	Val json.RawMessage `json:"val"`
 }
 
-// journalCell checkpoints one computed cell. Best effort: a journal
+// journalValue checkpoints one computed cell of any JSON-serializable
+// type (MixMetrics grids, advisor ProfileCells). Best effort: a journal
 // failure costs only a recompute on resume, never the sweep.
-func (o Options) journalCell(key string, mm *MixMetrics) {
+func (o Options) journalValue(key string, v any) {
 	if o.Journal == nil {
 		return
 	}
-	val, err := json.Marshal(mm)
+	val, err := json.Marshal(v)
 	if err == nil {
 		var rec []byte
 		if rec, err = json.Marshal(cellRecord{Key: key, Val: val}); err == nil {
@@ -384,7 +385,7 @@ func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]Mi
 				New:   func() any { return new(MixMetrics) },
 				Run: func(context.Context) (any, error) {
 					mm := o.mixMetrics(m, s)
-					o.journalCell(key, &mm)
+					o.journalValue(key, &mm)
 					return &mm, nil
 				},
 			})

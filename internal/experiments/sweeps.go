@@ -16,10 +16,14 @@ type SweepPoint struct {
 	Geomean float64
 }
 
-// SweepResult holds one sensitivity experiment (E9/E10/E12/E13).
+// SweepResult holds one sensitivity experiment (E9/E10/E12/E13) or an
+// advisor study (E21).
 type SweepResult struct {
-	ID     int
-	Title  string
+	ID    int
+	Title string
+	// Column overrides the value-column header ("" = the sensitivity
+	// sweeps' "WS gain over LRU").
+	Column string
 	Points []SweepPoint
 }
 
@@ -125,7 +129,11 @@ func SamplingSweep(o Options) *SweepResult {
 
 // Table renders a sweep.
 func (r *SweepResult) Table() *metrics.Table {
-	t := metrics.NewTable(r.Title, "variant", "WS gain over LRU")
+	col := r.Column
+	if col == "" {
+		col = "WS gain over LRU"
+	}
+	t := metrics.NewTable(r.Title, "variant", col)
 	for _, p := range r.Points {
 		t.AddRow(p.Label, metrics.Pct(p.Geomean))
 	}

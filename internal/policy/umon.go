@@ -10,12 +10,14 @@ type UMON struct {
 	sampleShift uint
 	sets        []umonSet // sampled set i lives at index i>>sampleShift
 	hits        []uint64
+	demandHits  []uint64 // demand-only hit curve; nil unless profiling
 	misses      uint64
 	accesses    uint64
 }
 
 type umonSet struct {
 	tags []uint64 // MRU first; cap fixed at ways once allocated
+	pcs  []uint64 // parallel fill PCs; allocated only by AccessProfiled
 }
 
 // NewUMON returns a monitor with the given associativity, sampling one in
@@ -67,6 +69,78 @@ func (u *UMON) Access(setIndex int, tag uint64) {
 	}
 	copy(s.tags[1:], s.tags)
 	s.tags[0] = tag
+}
+
+// NewUMONProfiler returns an unsampled monitor (every set tracked) that
+// additionally keeps the demand-only hit curve and a per-line fill-PC
+// mirror. It is the offline profiling variant of the runtime UMON: where
+// UCP samples sets to stay hardware-cheap, the MRC profiler wants the
+// exact hit count at every allocation, so it shadows the whole cache.
+func NewUMONProfiler(ways int) *UMON {
+	u := NewUMON(ways, 0)
+	u.demandHits = make([]uint64, ways)
+	return u
+}
+
+// AccessProfiled feeds one access with its fill PC, distinguishing demand
+// accesses from prefetch/writeback traffic. It returns the LRU stack
+// position hit (-1 on miss) and, when the ATD was full, the tag and fill
+// PC of the line pushed off the stack — the profiler's demotion signal.
+// Only valid on monitors built by NewUMONProfiler.
+func (u *UMON) AccessProfiled(setIndex int, tag, pc uint64, demand bool) (pos int, evTag, evPC uint64, evicted bool) {
+	u.accesses++
+	i := setIndex >> u.sampleShift
+	for len(u.sets) <= i {
+		u.sets = append(u.sets, umonSet{})
+	}
+	s := &u.sets[i]
+	if s.tags == nil {
+		s.tags = make([]uint64, 0, u.ways)
+		s.pcs = make([]uint64, 0, u.ways)
+	}
+	for j, t := range s.tags {
+		if t == tag {
+			u.hits[j]++
+			if demand {
+				u.demandHits[j]++
+			}
+			copy(s.tags[1:], s.tags[:j])
+			copy(s.pcs[1:], s.pcs[:j])
+			s.tags[0] = tag
+			s.pcs[0] = pc
+			return j, 0, 0, false
+		}
+	}
+	u.misses++
+	if len(s.tags) < u.ways {
+		s.tags = append(s.tags, 0)
+		s.pcs = append(s.pcs, 0)
+	} else {
+		evTag, evPC, evicted = s.tags[u.ways-1], s.pcs[u.ways-1], true
+	}
+	copy(s.tags[1:], s.tags)
+	copy(s.pcs[1:], s.pcs)
+	s.tags[0] = tag
+	s.pcs[0] = pc
+	return -1, evTag, evPC, evicted
+}
+
+// Hits returns a copy of the per-stack-position hit counts.
+func (u *UMON) Hits() []uint64 {
+	out := make([]uint64, len(u.hits))
+	copy(out, u.hits)
+	return out
+}
+
+// DemandHits returns a copy of the demand-only per-position hit counts
+// (nil unless built by NewUMONProfiler).
+func (u *UMON) DemandHits() []uint64 {
+	if u.demandHits == nil {
+		return nil
+	}
+	out := make([]uint64, len(u.demandHits))
+	copy(out, u.demandHits)
+	return out
 }
 
 // Utility returns the cumulative hits the core would get with a ways

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"expvar"
+	"sync"
 
 	"nucache/internal/cpu"
 )
+
+var verifyErrMu sync.Mutex
 
 // Runtime counters, published once per process under /debug/vars. They
 // aggregate across every scheduler in the process (the experiment grid
@@ -55,7 +58,29 @@ var (
 	// simulation (tape budget exhausted or untaggable stream).
 	TracesReplayed = expvar.NewInt("nucache_traces_replayed")
 	TraceFallbacks = expvar.NewInt("nucache_trace_fallbacks")
+	// MRCProfilesBuilt counts MRC profiling passes actually executed
+	// (cache hits excluded); MRCProfileCacheHits counts advisor/profile
+	// requests answered from an already-cached profile artifact.
+	MRCProfilesBuilt    = expvar.NewInt("nucache_mrc_profiles_built")
+	MRCProfileCacheHits = expvar.NewInt("nucache_mrc_profile_cache_hits")
+	// AdviseRequests counts POST /v1/advise requests; AdviseVerifyMaxErr
+	// tracks the worst relative IPC error a "verify": true request has
+	// observed between the analytical model and full simulation (gauge,
+	// monotone max).
+	AdviseRequests     = expvar.NewInt("nucache_advise_requests")
+	AdviseVerifyMaxErr = expvar.NewFloat("nucache_advise_verify_max_err")
 )
+
+// recordVerifyErr folds one verify delta into the AdviseVerifyMaxErr
+// high-water mark. expvar.Float has no compare-and-swap, so serialize
+// updates with a mutex (they are rare: one per verified advise).
+func recordVerifyErr(relErr float64) {
+	verifyErrMu.Lock()
+	defer verifyErrMu.Unlock()
+	if relErr > AdviseVerifyMaxErr.Value() {
+		AdviseVerifyMaxErr.Set(relErr)
+	}
+}
 
 // The tape-side counters live in internal/cpu (sim depends on cpu, not
 // the reverse); publish them here under the same nucache_ namespace.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"nucache/internal/cpu"
 	"nucache/internal/workload"
 )
 
@@ -37,6 +38,9 @@ type Request struct {
 	DRAM bool `json:"dram,omitempty"`
 	// Prefetch is the next-line prefetch degree (0 = off).
 	Prefetch int `json:"prefetch,omitempty"`
+	// Alloc is the per-core way allocation for the static "Part"
+	// policy (empty = even split). Invalid with other policies.
+	Alloc []int `json:"alloc,omitempty"`
 	// Warmup excludes each core's first N instructions from statistics.
 	Warmup uint64 `json:"warmup,omitempty"`
 	// TimeoutMS is a serving knob: the per-request deadline override in
@@ -90,6 +94,29 @@ func (r Request) Validate() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("sim: negative timeout_ms")
 	}
+	if len(r.Alloc) > 0 {
+		if !strings.EqualFold(r.Policy, "Part") {
+			return fmt.Errorf("sim: alloc is only valid with the Part policy")
+		}
+		mix, err := r.ResolveMix()
+		if err != nil {
+			return err
+		}
+		ways := cpu.DefaultConfig(mix.Cores()).LLC.Ways
+		if len(r.Alloc) != mix.Cores() {
+			return fmt.Errorf("sim: alloc has %d entries for %d cores", len(r.Alloc), mix.Cores())
+		}
+		total := 0
+		for i, a := range r.Alloc {
+			if a < 1 {
+				return fmt.Errorf("sim: alloc grants core %d %d ways", i, a)
+			}
+			total += a
+		}
+		if total != ways {
+			return fmt.Errorf("sim: alloc sums to %d ways, cache has %d", total, ways)
+		}
+	}
 	return nil
 }
 
@@ -139,7 +166,7 @@ func (r Request) ResolveMix() (workload.Mix, error) {
 // simulation's outcome appears here; nothing else may.
 func (r Request) Canonical() string {
 	r = r.Normalize()
-	return strings.Join([]string{
+	fields := []string{
 		"nucache-sim/v1",
 		"bench=" + r.Bench,
 		"mix=" + r.Mix,
@@ -152,7 +179,17 @@ func (r Request) Canonical() string {
 		fmt.Sprintf("dram=%v", r.DRAM),
 		fmt.Sprintf("prefetch=%d", r.Prefetch),
 		fmt.Sprintf("warmup=%d", r.Warmup),
-	}, "|")
+	}
+	// Appended conditionally so every pre-existing request keeps its
+	// content address.
+	if len(r.Alloc) > 0 {
+		parts := make([]string, len(r.Alloc))
+		for i, a := range r.Alloc {
+			parts[i] = fmt.Sprintf("%d", a)
+		}
+		fields = append(fields, "alloc="+strings.Join(parts, "+"))
+	}
+	return strings.Join(fields, "|")
 }
 
 // Key is the request's content address: hex SHA-256 of Canonical().

@@ -30,7 +30,27 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cpu.DefaultConfig(mix.Cores())
+	cfg := machineConfig(req, mix.Cores())
+	if _, err := buildRequestPolicy(req, cfg); err != nil {
+		return nil, err
+	}
+	newPol := func() cache.Policy {
+		// Cannot fail: the same arguments were validated above.
+		p, _ := buildRequestPolicy(req, cfg)
+		return p
+	}
+	// RunMachine replays the recorded front end when it can, falls back
+	// to direct simulation when it can't, and counts retired
+	// instructions either way.
+	results, m, pol := RunMachine(cfg, newPol, mix, req.Seed, false)
+	return Collect(mix, pol, cfg, req.Budget, req.Seed, results, m), nil
+}
+
+// machineConfig maps a normalized request's machine knobs onto the CPU
+// configuration — shared by the simulation and MRC-profiling paths so
+// both describe the same machine.
+func machineConfig(req Request, cores int) cpu.Config {
+	cfg := cpu.DefaultConfig(cores)
 	cfg.InstrBudget = req.Budget
 	cfg.PrefetchDegree = req.Prefetch
 	cfg.WarmupInstr = req.Warmup
@@ -42,26 +62,23 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		d := memory.DefaultConfig()
 		cfg.DRAM = &d
 	}
-	if _, err := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays()); err != nil {
-		return nil, err
+	return cfg
+}
+
+// buildRequestPolicy builds the request's policy, honoring an explicit
+// static-partition allocation when one is present.
+func buildRequestPolicy(req Request, cfg cpu.Config) (cache.Policy, error) {
+	if len(req.Alloc) > 0 && strings.EqualFold(req.Policy, "Part") {
+		return policy.NewStaticPart(req.Alloc), nil
 	}
-	newPol := func() cache.Policy {
-		// Cannot fail: the same arguments were validated above.
-		p, _ := BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays())
-		return p
-	}
-	// RunMachine replays the recorded front end when it can, falls back
-	// to direct simulation when it can't, and counts retired
-	// instructions either way.
-	results, m, pol := RunMachine(cfg, newPol, mix, req.Seed, false)
-	return Collect(mix, pol, cfg, req.Budget, req.Seed, results, m), nil
+	return BuildPolicy(req.Policy, cfg.Cores, cfg.LLC.Ways, req.deliWays())
 }
 
 // policyNames is the catalog of LLC policies the service can build, in
 // display order.
 var policyNames = []string{
 	"LRU", "NUcache", "UCP", "PIPP", "TADIP", "DIP", "DRRIP", "SRRIP",
-	"NRU", "SHiP", "Hawkeye", "SLRU", "Random",
+	"NRU", "SHiP", "Hawkeye", "SLRU", "Random", "Part",
 }
 
 // Policies lists the policy names accepted by Request.Policy.
@@ -114,6 +131,8 @@ func BuildPolicy(name string, cores, ways, deliWays int) (cache.Policy, error) {
 		return policy.NewSLRU(ways / 2), nil
 	case "RANDOM":
 		return policy.NewRandom(12345), nil
+	case "PART":
+		return policy.NewStaticPart(policy.EvenSplit(cores, ways)), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown policy %q", name)
 	}

@@ -55,13 +55,17 @@ func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 //
 //	POST /v1/sim      run (or fetch) one simulation, JSON in/out
 //	POST /v1/sweep    fan a mixes×policies sweep across the pool (NDJSON)
-//	GET  /v1/catalog  benchmarks, standard mixes, policies
+//	POST /v1/profile  compute (or fetch) a mix's MRC profile artifact
+//	POST /v1/advise   answer an allocation what-if from the profile
+//	GET  /v1/catalog  benchmarks, standard mixes, policies, endpoints
 //	GET  /healthz     liveness + degradation state
 //	GET  /debug/vars  expvar counters
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", sv.handleSim)
 	mux.HandleFunc("POST /v1/sweep", sv.handleSweep)
+	mux.HandleFunc("POST /v1/profile", sv.handleProfile)
+	mux.HandleFunc("POST /v1/advise", sv.handleAdvise)
 	mux.HandleFunc("GET /v1/catalog", sv.handleCatalog)
 	mux.HandleFunc("GET /healthz", sv.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -302,6 +306,9 @@ type Catalog struct {
 	Benchmarks []CatalogBenchmark `json:"benchmarks"`
 	Mixes      []CatalogMix       `json:"mixes"`
 	Policies   []string           `json:"policies"`
+	// Endpoints advertises the API surface (clients discover the
+	// advisor endpoints here).
+	Endpoints []string `json:"endpoints"`
 }
 
 type CatalogBenchmark struct {
@@ -317,7 +324,14 @@ type CatalogMix struct {
 }
 
 func (sv *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
-	cat := Catalog{Policies: Policies()}
+	cat := Catalog{
+		Policies: Policies(),
+		Endpoints: []string{
+			"POST /v1/sim", "POST /v1/sweep", "POST /v1/profile",
+			"POST /v1/advise", "GET /v1/catalog", "GET /healthz",
+			"GET /debug/vars",
+		},
+	}
 	for _, b := range workload.All() {
 		cat.Benchmarks = append(cat.Benchmarks, CatalogBenchmark{
 			Name: b.Name, Class: string(b.Class), Description: b.Description,

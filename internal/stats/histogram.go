@@ -141,6 +141,48 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.lowerBound(len(h.counts) - 1)
 }
 
+// LinearMax returns the number of linear buckets.
+func (h *Histogram) LinearMax() int { return h.linearMax }
+
+// Log2Buckets returns the number of power-of-two buckets.
+func (h *Histogram) Log2Buckets() int { return h.log2Max }
+
+// Counts returns a copy of the raw bucket counts (linear buckets, then
+// log2 buckets, then the overflow bucket).
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Sum returns the running sum of recorded values. Together with Counts
+// it lets a histogram round-trip through serialization without losing
+// Mean(), which consumers use for ordering.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// HistogramFromCounts reconstructs a histogram from serialized bucket
+// counts and value sum (the inverse of Counts/Sum). The counts slice
+// must have exactly linearMax+log2Buckets+1 entries.
+func HistogramFromCounts(linearMax, log2Buckets int, counts []uint64, sum uint64) (*Histogram, error) {
+	h := NewHistogram(linearMax, log2Buckets)
+	if len(counts) != len(h.counts) {
+		return nil, fmt.Errorf("stats: histogram counts length %d, want %d for layout %d/%d",
+			len(counts), len(h.counts), h.linearMax, h.log2Max)
+	}
+	var total uint64
+	for i, c := range counts {
+		h.counts[i] = c
+		next := total + c
+		if next < total {
+			return nil, fmt.Errorf("stats: histogram counts overflow uint64")
+		}
+		total = next
+	}
+	h.total = total
+	h.sum = sum
+	return h, nil
+}
+
 // Reset clears all recorded observations, keeping the layout.
 func (h *Histogram) Reset() {
 	for i := range h.counts {
