@@ -163,6 +163,73 @@ func BenchmarkHotReplayStep(b *testing.B) {
 	}
 }
 
+// gridBenchSetup records an E6-shaped dual-core tape set (the first
+// standard 2-core mix at bench budget) and returns builders for the
+// standard policy lineup — the workload of the one-pass grid gate.
+func gridBenchSetup(b *testing.B) (cpu.Config, []*cpu.Tape, func() []cache.Policy) {
+	b.Helper()
+	cfg := cpu.DefaultConfig(2)
+	cfg.InstrBudget = 200_000
+	mix := workload.MixesFor(2)[0]
+	tapes := make([]*cpu.Tape, len(mix.Members))
+	for i, name := range mix.Members {
+		tapes[i] = cpu.NewTape(cfg, workload.MustByName(name).Stream(1+uint64(i)))
+	}
+	specs := experiments.StandardPolicies()
+	pols := func() []cache.Policy {
+		out := make([]cache.Policy, len(specs))
+		for i, s := range specs {
+			out[i] = s.New(cfg.Cores, cfg.LLC.Ways)
+		}
+		return out
+	}
+	// Record the tapes outside any timed region.
+	if _, err := cpu.NewMultiReplaySystem(cfg, pols(), tapes).Run(); err != nil {
+		b.Fatal(err)
+	}
+	return cfg, tapes, pols
+}
+
+// BenchmarkGridReplay replays the whole standard policy grid in a
+// single tape walk; BenchmarkGridReplaySerial replays the same grid as
+// N independent single-policy walks. Their ratio is the one-pass
+// speedup, enforced as a floor by CI (cmd/benchgate -floor); ns/op is
+// also gated against regressions like the Hot* benchmarks.
+func BenchmarkGridReplay(b *testing.B) {
+	cfg, tapes, pols := gridBenchSetup(b)
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		ms := cpu.NewMultiReplaySystem(cfg, pols(), tapes)
+		res, err := ms.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, laneRes := range res {
+			for _, r := range laneRes {
+				events += r.LLCAccesses
+			}
+		}
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event-lane")
+	}
+}
+
+func BenchmarkGridReplaySerial(b *testing.B) {
+	cfg, tapes, pols := gridBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range pols() {
+			rs := cpu.NewReplaySystem(cfg, pol, tapes)
+			if _, err := rs.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkSystemThroughput measures end-to-end simulated accesses/sec of
 // the full hierarchy on a real workload model.
 func BenchmarkSystemThroughput(b *testing.B) {

@@ -151,6 +151,10 @@ func TestSimEndpoint(t *testing.T) {
 		ChecksumFails   *int64 `json:"nucache_cache_checksum_fails"`
 		TapeChecksums   *int64 `json:"nucache_tape_checksum_fails"`
 		FailpointsFired *int64 `json:"nucache_failpoints_fired"`
+		// One-pass grid counters: published from process start; a
+		// single-policy /v1/sim leaves them at zero.
+		MultiRuns  *int64 `json:"nucache_multireplay_runs"`
+		MultiLanes *int64 `json:"nucache_multireplay_lanes"`
 	}
 	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
 		t.Fatalf("expvars: %v", err)
@@ -162,6 +166,10 @@ func TestSimEndpoint(t *testing.T) {
 	if vars.ChecksumFails == nil || vars.TapeChecksums == nil || vars.FailpointsFired == nil {
 		t.Fatalf("integrity expvars missing from /debug/vars: cache=%v tape=%v failpoints=%v",
 			vars.ChecksumFails, vars.TapeChecksums, vars.FailpointsFired)
+	}
+	if vars.MultiRuns == nil || vars.MultiLanes == nil {
+		t.Fatalf("multireplay expvars missing from /debug/vars: runs=%v lanes=%v",
+			vars.MultiRuns, vars.MultiLanes)
 	}
 	if *vars.ChecksumFails != 0 || *vars.TapeChecksums != 0 || *vars.FailpointsFired != 0 {
 		t.Fatalf("integrity counters moved on a healthy server: cache=%d tape=%d failpoints=%d",

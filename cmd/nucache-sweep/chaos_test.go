@@ -23,12 +23,13 @@ import (
 
 // sweepArgs is the fixed workload every chaos run uses: small enough to
 // finish in seconds, large enough to journal 12 cells (2 mixes x 6
-// specs) across both scheduler workers.
-func sweepArgs(journalPath string, resume bool) []string {
-	args := []string{
+// specs) across both scheduler workers. extra prepends site-specific
+// flags (e.g. -nomultireplay to route cells through per-cell replay).
+func sweepArgs(journalPath string, resume bool, extra ...string) []string {
+	args := append([]string{
 		"-sweep", "deliways", "-budget", "50000", "-mixlimit", "2",
 		"-parallel", "2", "-journal", journalPath,
-	}
+	}, extra...)
 	if resume {
 		args = append(args, "-resume")
 	}
@@ -74,22 +75,32 @@ func TestChaosKillAndResume(t *testing.T) {
 	}
 	golden := stripTimings(goldenOut)
 
-	sites := []string{
-		"sim.sched.job",       // grid cell dispatch
-		"cpu.tape.extend",     // trace recording
-		"cpu.replay.run",      // replay commit
-		"journal.append",      // checkpoint write
-		"journal.append.torn", // crash between a record's body and CRC
+	// Each site names a failpoint on the sweep's write path, plus the
+	// flags the crash run needs for that site to be on the hot path: with
+	// one-pass grids on by default, per-cell replay commits only happen
+	// under -nomultireplay, and the multi-replay commit only without it.
+	// The resume run always uses the default flags — a journal written by
+	// either path must resume bit-identically under the other.
+	sites := []struct {
+		name  string
+		extra []string
+	}{
+		{"sim.sched.job", nil},                         // grid cell dispatch
+		{"cpu.tape.extend", nil},                       // trace recording
+		{"cpu.replay.run", []string{"-nomultireplay"}}, // per-cell replay commit
+		{"cpu.multireplay.run", nil},                   // one-pass grid commit (armed once per live lane)
+		{"journal.append", nil},                        // checkpoint write
+		{"journal.append.torn", nil},                   // crash between a record's body and CRC
 	}
 	for _, site := range sites {
 		site := site
-		t.Run(site, func(t *testing.T) {
-			jpath := filepath.Join(dir, strings.ReplaceAll(site, ".", "_")+".journal")
+		t.Run(site.name, func(t *testing.T) {
+			jpath := filepath.Join(dir, strings.ReplaceAll(site.name, ".", "_")+".journal")
 			hit := 1 + rand.IntN(3)
-			spec := fmt.Sprintf("%s=exit@%d", site, hit)
+			spec := fmt.Sprintf("%s=exit@%d", site.name, hit)
 			t.Logf("arming %s", spec)
 			_, crashErr, err := runMainEnv(t, []string{failpoint.EnvVar + "=" + spec},
-				sweepArgs(jpath, false)...)
+				sweepArgs(jpath, false, site.extra...)...)
 			var exit *exec.ExitError
 			if err == nil {
 				t.Fatalf("sweep survived %s", spec)
@@ -110,7 +121,7 @@ func TestChaosKillAndResume(t *testing.T) {
 			if !strings.Contains(errOut, "12 records (") {
 				t.Fatalf("resumed journal summary missing:\n%s", errOut)
 			}
-			if site == "journal.append.torn" && !strings.Contains(errOut, "1 torn tails") {
+			if site.name == "journal.append.torn" && !strings.Contains(errOut, "1 torn tails") {
 				t.Fatalf("torn-tail crash not reported on resume:\n%s", errOut)
 			}
 		})

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"nucache/internal/cache"
+)
+
+// MultiReplaySystem steps a whole LLC policy grid through one tape
+// walk: each filtered event is decoded once (16-byte mirror unpack, or
+// the shared streaming window when the decode budget ran out) and
+// applied to an array of per-policy LLC+DRAM lanes. Per-lane divergence
+// — different hit/miss outcomes, so different service cycles, so a
+// different cross-core merge order — is handled by giving each lane its
+// own per-core clocks and replaying the measurement crossings against
+// the lane's own timing.
+//
+// Correctness: lanes share only the append-only tape views and the
+// policy-independent item stream; no lane writes state another lane
+// reads. Any interleaving of lane stepping therefore produces, for each
+// lane, results byte-identical to a standalone single-policy
+// ReplaySystem over the same tapes — the grid-differential suite
+// (multireplay_test.go) pins this against every registered policy and
+// machine shape.
+type MultiReplaySystem struct {
+	eng replayEngine
+}
+
+// multiReplayBatch is how many items one lane plays before yielding to
+// the next. Each lane's LLC+DRAM state is megabytes, so fine-grained
+// interleaving thrashes it out of the cache hierarchy between visits —
+// measured 35% slower than serial at 256 items. Large batches keep a
+// lane's state resident while it runs, yet still bound how far lanes
+// drift apart on the tape (16384 events ≈ 256KB of packed mirror), so
+// a tape chunk pulled in by the leading lane is re-read from cache, not
+// DRAM, by the trailing ones.
+const multiReplayBatch = 16384
+
+// NewMultiReplaySystem builds one replay lane per policy over a shared
+// tape walk. Tapes must have been recorded for a config with the same
+// front end (FrontEndKey), exactly as for NewReplaySystem; all lanes
+// share the replay-side config (LLC geometry, latencies, DRAM, prefetch
+// degree) and differ only in the LLC policy.
+func NewMultiReplaySystem(cfg Config, pols []cache.Policy, tapes []*Tape) *MultiReplaySystem {
+	return &MultiReplaySystem{eng: newReplayEngine(cfg, pols, tapes)}
+}
+
+// Lanes returns the number of policy lanes.
+func (ms *MultiReplaySystem) Lanes() int { return len(ms.eng.lanes) }
+
+// Lane exposes lane i's machine surface (LLC stats, DRAM, prefetches)
+// after Run — the per-policy analogue of a ReplaySystem.
+func (ms *MultiReplaySystem) Lane(i int) Machine { return &ms.eng.lanes[i] }
+
+// LaneWritebacks returns lane i's posted-writeback count (the
+// counterpart of ReplaySystem.Writebacks).
+func (ms *MultiReplaySystem) LaneWritebacks(i int) uint64 {
+	return ms.eng.lanes[i].Writebacks
+}
+
+// Run replays every lane and returns per-lane, per-core results, each
+// byte-identical to what a single-policy ReplaySystem over the same
+// tapes would return. Lanes advance in bounded round-robin batches so
+// they walk the same tape region together. An error (tape budget
+// exhausted, corrupt tape, untaggable stream) aborts the whole grid —
+// tape defects are shared by construction, every lane would hit the
+// same one — and the results are always nil, never partial; callers
+// fall back to single-policy replay or direct simulation per lane.
+func (ms *MultiReplaySystem) Run() ([][]CoreResult, error) {
+	e := &ms.eng
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	for {
+		alive := false
+		for li := range e.lanes {
+			l := &e.lanes[li]
+			if l.done {
+				continue
+			}
+			if err := e.runLane(l, multiReplayBatch); err != nil {
+				return nil, err
+			}
+			if !l.done {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+	out := make([][]CoreResult, len(e.lanes))
+	for li := range e.lanes {
+		res, err := e.lanes[li].results()
+		if err != nil {
+			return nil, err
+		}
+		out[li] = res
+	}
+	return out, nil
+}

@@ -9,65 +9,69 @@ import (
 	"nucache/internal/trace"
 )
 
-// ReplaySystem drives only the shared LLC (and the memory model behind
-// it) from per-core filtered tapes, reproducing a direct System.Run
-// bit for bit. The key invariant it relies on: in the direct engine,
-// steps execute in global (step-start-time, core-index) order, and steps
-// that never reach the LLC touch no shared state. So replay schedules
-// just the LLC-bound events and the recorded measurement crossings, at
-// start times reconstructed as
+// The replay engine drives only the shared LLC (and the memory model
+// behind it) from per-core filtered tapes, reproducing a direct
+// System.Run bit for bit. The key invariant it relies on: in the direct
+// engine, steps execute in global (step-start-time, core-index) order,
+// and steps that never reach the LLC touch no shared state. So replay
+// schedules just the LLC-bound events and the recorded measurement
+// crossings, at start times reconstructed as
 //
 //	time = policy-independent cycles (from the tape's gaps)
 //	     + this core's accumulated LLC/memory service cycles (replayed)
 //
 // which is exactly the core's clock at that step in the direct run.
-type ReplaySystem struct {
-	cfg   Config
-	cores []*replayCore
-	llc   *cache.Cache
-	dram  *memory.DRAM
+//
+// The engine is split so one tape walk can feed any number of LLC
+// policies at once (MultiReplaySystem): everything policy-independent —
+// the tape views, the shared streaming-decode window, extension and
+// integrity checking — lives in per-core coreFronts shared by every
+// lane, while each replayLane owns the policy-dependent state (its LLC,
+// DRAM, per-core cursors/clocks, and crossing snapshots). Lanes never
+// write shared state, and tape views are append-only consistent
+// snapshots (a view containing event k contains every crossing due at
+// or before k), so a lane's outcome is independent of how far ahead any
+// other lane has pulled the shared view — which is what makes every
+// lane byte-identical to a single-policy replay of the same tape.
 
-	// cand/rivalTime/rivalIndex implement the same cached-scheduler fast
-	// path as (*System).nextCore; see that comment.
-	cand       *replayCore
-	rivalTime  uint64
-	rivalIndex int
-
-	// recorded counts cores whose measurement window has closed — the
-	// run's stop condition, kept as a counter so the per-item loop does
-	// not rescan every core.
-	recorded int
-
-	// req is the scratch request reused for every LLC access (same
-	// reasoning as System.req: nothing retains the pointer, and a fresh
-	// literal would heap-allocate per access).
-	req cache.Request
-
-	// Writebacks counts dirty private victims drained into the LLC. With
-	// a private L2 this intentionally differs from System.Writebacks,
-	// which also counts L1-to-L2 drains that never reach the LLC (those
-	// happen at record time here). LLC-level statistics are unaffected.
-	Writebacks uint64
-	// PrefetchIssued counts next-line prefetches sent to the LLC.
-	PrefetchIssued uint64
-}
-
-// Machine is the read surface shared by System and ReplaySystem —
-// everything result collection needs after a run.
-type Machine interface {
-	LLC() *cache.Cache
-	DRAM() *memory.DRAM
-	Prefetches() uint64
-}
-
-type replayCore struct {
+// coreFront is one core's policy-independent tape state, shared by
+// every lane of an engine: the tape handle and, when the decode mirror
+// stopped short (decode budget), a shared streaming window that
+// varint-decodes each overflow event exactly once for all lanes.
+type coreFront struct {
 	index int
 	tape  *Tape
 
-	view      tapeView
+	// The shared streaming window: events at ordinals [winBase,
+	// winBase+len(win)) decoded from the packed buffer. winCur sits at
+	// ordinal winBase+len(win). Lanes at different positions read
+	// different slots; trimWin discards slots every lane has passed.
+	winStreaming bool
+	winBase      uint64
+	win          []trace.FilteredEvent
+	winCur       trace.FilteredCursor
+}
+
+// winTrimLen bounds the shared streaming window: when it grows past
+// this many events the slots every lane has consumed are discarded.
+const winTrimLen = 4096
+
+// laneCore is one (lane, core) replay cursor: the per-policy position
+// and clock of one core within one lane. The item sequence it walks
+// (events and crossings, each with a policy-independent start
+// component) is identical across lanes; only svc — and therefore the
+// cross-core merge order and the crossing snapshots — differs.
+type laneCore struct {
+	index int
+	fr    *coreFront
+
+	// view is this lane core's consistent snapshot of the shared tape.
+	// It lives here, not in coreFront, so the per-event hot path reads
+	// one struct; snapshots are append-only prefixes of each other, so
+	// per-lane staleness is invisible (see the package comment).
+	view tapeView
+
 	nextCross int
-	streaming bool                 // decode cache exhausted; stream from cur
-	cur       trace.FilteredCursor // overflow decode (streaming mode only)
 
 	replayed  uint64              // events replayed so far
 	pi        uint64              // policy-independent cycles at the pending event's step start
@@ -84,12 +88,67 @@ type replayCore struct {
 	result   CoreResult
 }
 
-// NewReplaySystem builds a replay over one tape per core. Tapes must
-// have been recorded for a config with the same front end (FrontEndKey);
-// the LLC, memory model and prefetch degree may differ freely.
-func NewReplaySystem(cfg Config, llcPolicy cache.Policy, tapes []*Tape) *ReplaySystem {
+// replayLane is one policy's machine within an engine: its LLC and
+// DRAM instance, its per-core cursors (a contiguous sub-slice of the
+// engine's structure-of-arrays backing), and its merge scheduler.
+type replayLane struct {
+	llc   *cache.Cache
+	dram  *memory.DRAM
+	cores []laneCore
+
+	// cand/rivalTime/rivalIndex implement the same cached-scheduler fast
+	// path as (*System).nextCore; see that comment.
+	cand       *laneCore
+	rivalTime  uint64
+	rivalIndex int
+
+	// recorded counts cores whose measurement window has closed — the
+	// lane's stop condition, kept as a counter so the per-item loop does
+	// not rescan every core.
+	recorded int
+
+	// replayedLast carries the deferred advance of the just-played core
+	// across batch boundaries; see the comment in runLane.
+	replayedLast *laneCore
+	done         bool
+
+	// req is the scratch request reused for every LLC access (same
+	// reasoning as System.req: nothing retains the pointer, and a fresh
+	// literal would heap-allocate per access).
+	req cache.Request
+
+	// Writebacks counts dirty private victims drained into the LLC. With
+	// a private L2 this intentionally differs from System.Writebacks,
+	// which also counts L1-to-L2 drains that never reach the LLC (those
+	// happen at record time here). LLC-level statistics are unaffected.
+	Writebacks uint64
+	// PrefetchIssued counts next-line prefetches sent to the LLC.
+	PrefetchIssued uint64
+}
+
+// LLC exposes the lane's shared cache (Machine interface).
+func (l *replayLane) LLC() *cache.Cache { return l.llc }
+
+// DRAM exposes the lane's memory model when enabled (Machine interface).
+func (l *replayLane) DRAM() *memory.DRAM { return l.dram }
+
+// Prefetches returns the lane's prefetch count (Machine interface).
+func (l *replayLane) Prefetches() uint64 { return l.PrefetchIssued }
+
+// replayEngine is the shared core of ReplaySystem (one lane) and
+// MultiReplaySystem (one lane per policy).
+type replayEngine struct {
+	cfg    Config
+	fronts []coreFront
+	lanes  []replayLane
+}
+
+func newReplayEngine(cfg Config, pols []cache.Policy, tapes []*Tape) replayEngine {
 	if cfg.Cores <= 0 {
 		panic("cpu: non-positive core count")
+	}
+	if len(pols) == 0 {
+		panic("cpu: replay engine with no policies")
 	}
 	if len(tapes) != cfg.Cores {
 		panic(fmt.Sprintf("cpu: %d tapes for %d cores", len(tapes), cfg.Cores))
@@ -106,62 +165,92 @@ func NewReplaySystem(cfg Config, llcPolicy cache.Policy, tapes []*Tape) *ReplayS
 		llcCfg.Name = "LLC"
 	}
 	llcCfg.Cores = cfg.Cores
-	rs := &ReplaySystem{
-		cfg: cfg,
-		llc: cache.New(llcCfg, llcPolicy),
-	}
-	if cfg.DRAM != nil {
-		rs.dram = memory.New(*cfg.DRAM)
+	// The engine is returned by value (callers embed it); the slices'
+	// backing arrays are heap-allocated, so interior pointers like
+	// laneCore.fr stay valid across the copy.
+	e := replayEngine{
+		cfg:    cfg,
+		fronts: make([]coreFront, cfg.Cores),
+		lanes:  make([]replayLane, len(pols)),
 	}
 	for i, t := range tapes {
-		rs.cores = append(rs.cores, &replayCore{index: i, tape: t})
+		e.fronts[i] = coreFront{index: i, tape: t}
 	}
-	return rs
+	// All lanes' cursors live in one contiguous backing slice
+	// (structure-of-arrays): lane li's cores are the cfg.Cores entries
+	// starting at li*cfg.Cores, so a lane's per-core clocks and crossing
+	// snapshots sit on adjacent cache lines while it runs.
+	backing := make([]laneCore, len(pols)*cfg.Cores)
+	for li, pol := range pols {
+		l := &e.lanes[li]
+		l.llc = cache.New(llcCfg, pol)
+		if cfg.DRAM != nil {
+			l.dram = memory.New(*cfg.DRAM)
+		}
+		lo := li * cfg.Cores
+		l.cores = backing[lo : lo+cfg.Cores : lo+cfg.Cores]
+		for ci := range l.cores {
+			l.cores[ci] = laneCore{index: ci, fr: &e.fronts[ci]}
+		}
+	}
+	return e
 }
 
-// DRAM exposes the memory model when enabled (nil otherwise).
-func (rs *ReplaySystem) DRAM() *memory.DRAM { return rs.dram }
-
-// LLC exposes the shared cache (policy inspection, stats).
-func (rs *ReplaySystem) LLC() *cache.Cache { return rs.llc }
-
-// Prefetches returns the next-line prefetch count (Machine interface).
-func (rs *ReplaySystem) Prefetches() uint64 { return rs.PrefetchIssued }
-
-// Run replays the simulation and returns per-core results identical to
-// the equivalent direct System.Run. An error means the replay could not
-// complete (tape budget exhausted or untaggable stream); the LLC state
-// is then unusable and the caller should fall back to direct simulation.
-func (rs *ReplaySystem) Run() ([]CoreResult, error) {
-	for _, c := range rs.cores {
-		if err := rs.advance(c); err != nil {
-			return nil, err
-		}
-	}
-	// The direct engine checks "everyone recorded" before each step, so
-	// the step that records the last core is also the last step executed.
-	// Mirror that exactly: test the condition before picking an item, and
-	// defer recomputing the played core's next item (which could extend
-	// its tape past anything a replay needs) until the loop continues.
-	var replayedLast *replayCore
-	for rs.recorded < len(rs.cores) {
-		if replayedLast != nil {
-			if err := rs.advance(replayedLast); err != nil {
-				return nil, err
+// start computes every lane core's first item.
+func (e *replayEngine) start() error {
+	for li := range e.lanes {
+		l := &e.lanes[li]
+		for ci := range l.cores {
+			if err := e.advance(&l.cores[ci]); err != nil {
+				return err
 			}
-			replayedLast = nil
 		}
-		c := rs.nextItem()
-		if c == nil {
-			break // every stream exhausted
-		}
-		if err := rs.playItem(c); err != nil {
-			return nil, err
-		}
-		replayedLast = c
 	}
-	out := make([]CoreResult, len(rs.cores))
-	for i, c := range rs.cores {
+	return nil
+}
+
+// runLane plays up to batch items of one lane, preserving the exact
+// execution order of a standalone single-policy replay. The direct
+// engine checks "everyone recorded" before each step, so the step that
+// records the last core is also the last step executed. Mirror that
+// exactly: test the condition before picking an item, and defer
+// recomputing the played core's next item (which could extend its tape
+// past anything a replay needs) until the loop continues — across
+// batch boundaries, via l.replayedLast.
+func (e *replayEngine) runLane(l *replayLane, batch int) error {
+	// The deferred core rides in a local within the batch: writing the
+	// pointer field per item would cost a GC write barrier per event.
+	last := l.replayedLast
+	l.replayedLast = nil
+	for i := 0; i < batch; i++ {
+		if l.recorded >= len(l.cores) {
+			l.done = true
+			return nil
+		}
+		if last != nil {
+			if err := e.advance(last); err != nil {
+				return err
+			}
+			last = nil
+		}
+		c := l.nextItem()
+		if c == nil {
+			// Every stream exhausted; results() reports unrecorded cores.
+			l.done = true
+			return nil
+		}
+		e.playItem(l, c)
+		last = c
+	}
+	l.replayedLast = last
+	return nil
+}
+
+// results collects the lane's per-core results after it finished.
+func (l *replayLane) results() ([]CoreResult, error) {
+	out := make([]CoreResult, len(l.cores))
+	for i := range l.cores {
+		c := &l.cores[i]
 		if !c.recorded {
 			// Unreachable for well-formed tapes (exhaustion records), but
 			// fail safe rather than return partial results.
@@ -172,16 +261,18 @@ func (rs *ReplaySystem) Run() ([]CoreResult, error) {
 	return out, nil
 }
 
-// nextItem picks the core whose next item has the smallest schedule
-// time, ties broken by index — the replay analogue of nextCore, with the
-// same cached fast path (only the last-played core's time has changed).
-func (rs *ReplaySystem) nextItem() *replayCore {
-	if c := rs.cand; c != nil && !c.stopped &&
-		(c.time < rs.rivalTime || (c.time == rs.rivalTime && c.index < rs.rivalIndex)) {
+// nextItem picks the lane core whose next item has the smallest
+// schedule time, ties broken by index — the replay analogue of
+// nextCore, with the same cached fast path (only the last-played
+// core's time has changed).
+func (l *replayLane) nextItem() *laneCore {
+	if c := l.cand; c != nil && !c.stopped &&
+		(c.time < l.rivalTime || (c.time == l.rivalTime && c.index < l.rivalIndex)) {
 		return c
 	}
-	var best, rival *replayCore
-	for _, c := range rs.cores {
+	var best, rival *laneCore
+	for i := range l.cores {
+		c := &l.cores[i]
 		if c.stopped {
 			continue
 		}
@@ -191,25 +282,28 @@ func (rs *ReplaySystem) nextItem() *replayCore {
 			rival = c
 		}
 	}
-	rs.cand = best
+	l.cand = best
 	if rival != nil {
-		rs.rivalTime, rs.rivalIndex = rival.time, rival.index
+		l.rivalTime, l.rivalIndex = rival.time, rival.index
 	} else {
-		rs.rivalTime, rs.rivalIndex = math.MaxUint64, math.MaxInt
+		l.rivalTime, l.rivalIndex = math.MaxUint64, math.MaxInt
 	}
 	return best
 }
 
-// advance computes core c's next item and its schedule time, fetching
-// (and if needed extending) the tape snapshot.
-func (rs *ReplaySystem) advance(c *replayCore) error {
+// advance computes lane core c's next item and its schedule time,
+// fetching (and if needed extending) the shared tape view.
+func (e *replayEngine) advance(c *laneCore) error {
 	for {
 		if c.stopped {
 			return nil
 		}
 		// A due crossing always precedes the pending event: its step came
 		// first, and the snapshot that contained the event also contained
-		// every earlier crossing.
+		// every earlier crossing. (Snapshot consistency also means a
+		// fresher snapshot than another lane's can only add crossings at
+		// ordinals this lane has not reached, so per-lane view staleness
+		// never changes which crossing is due here.)
 		if c.nextCross < len(c.view.cross) {
 			if cr := &c.view.cross[c.nextCross]; cr.AfterEvents == c.replayed {
 				if cr.OnEvent {
@@ -228,11 +322,11 @@ func (rs *ReplaySystem) advance(c *replayCore) error {
 		}
 		// The next event is ordinal c.replayed: usually unpacked from the
 		// tape's decode cache (one 16-byte sequential read; the wb side
-		// list only when the event carries a writeback), else
-		// stream-decoded from the packed buffer (decode budget exhausted).
+		// list only when the event carries a writeback), else served from
+		// the shared streaming window (decode budget exhausted).
 		if c.replayed < c.view.decCount {
-			e := &c.view.decPages[c.replayed>>decPageShift][c.replayed&decPageMask]
-			w0, w1 := e.w0, e.w1
+			de := &c.view.decPages[c.replayed>>decPageShift][c.replayed&decPageMask]
+			w0, w1 := de.w0, de.w1
 			gap := w0>>decGapLowShift | w1>>decPCBits<<decGapLowBits
 			c.pend.Addr = w0 & (1<<decAddrBits - 1)
 			c.pend.PC = w1 & (1<<decPCBits - 1)
@@ -253,46 +347,123 @@ func (rs *ReplaySystem) advance(c *replayCore) error {
 			continue
 		}
 		if c.replayed < c.view.events {
-			if !c.streaming {
-				c.streaming = true
-				c.cur = c.view.overflow
-			}
-			ok, err := c.cur.Next(&c.pend)
+			ev, err := e.winEvent(c, c.replayed)
 			if err != nil {
 				return err
 			}
-			if !ok {
-				return fmt.Errorf("cpu: replay core %d: packed tape short of event %d", c.index, c.replayed)
-			}
+			c.pend = *ev
 			c.pendValid = true
-			c.pi += c.pend.CycleGap
+			c.pi += ev.CycleGap
 			continue
 		}
 		if c.view.complete {
 			return fmt.Errorf("cpu: replay core %d ran off its tape", c.index)
 		}
-		v, err := c.tape.snapshot(c.replayed)
-		if err != nil {
+		if err := e.refresh(c); err != nil {
 			return err
-		}
-		c.view = v
-		if c.streaming {
-			c.cur.Rebase(v.buf, v.events)
 		}
 	}
 }
 
-// playItem executes core c's next item: either a due crossing (advance
-// latched dueCross) or the pending event (with any on-event crossings
-// attached to it).
-func (rs *ReplaySystem) playItem(c *replayCore) error {
+// refresh pulls a fresh snapshot of c's tape, extending the recording
+// when this lane core has consumed everything recorded so far. With
+// several lanes only the leading one ever extends; the others find the
+// tape already long enough. The snapshot is stored per lane core, but
+// snapshots are append-only prefixes of each other, so lanes at
+// different freshness replay identical item streams.
+func (e *replayEngine) refresh(c *laneCore) error {
+	fr := c.fr
+	v, err := fr.tape.snapshot(c.replayed)
+	if err != nil {
+		return err
+	}
+	c.view = v
+	if fr.winStreaming {
+		// A fresh snapshot is the longest yet (the tape only appends), so
+		// re-anchoring the shared cursor on it is safe for every lane.
+		fr.winCur.Rebase(v.buf, v.events)
+	}
+	return nil
+}
+
+// winEvent returns event `ordinal` from the shared streaming window of
+// c's core front, varint-decoding each overflow event exactly once no
+// matter how many lanes replay it. Only the leading lane appends;
+// trailing lanes hit already-decoded slots.
+func (e *replayEngine) winEvent(c *laneCore, ordinal uint64) (*trace.FilteredEvent, error) {
+	fr := c.fr
+	if !fr.winStreaming {
+		// The mirror stops permanently once the decode budget runs out, so
+		// decCount is fixed from here on — every lane's view agrees on it
+		// — and anchors the window.
+		fr.winStreaming = true
+		fr.winBase = c.view.decCount
+		fr.winCur = c.view.overflow
+	}
+	if ordinal < fr.winBase {
+		return nil, fmt.Errorf("cpu: replay core %d: event %d below streaming window base %d",
+			fr.index, ordinal, fr.winBase)
+	}
+	for ordinal >= fr.winBase+uint64(len(fr.win)) {
+		if len(fr.win) >= winTrimLen {
+			e.trimWin(fr)
+		}
+		var ev trace.FilteredEvent
+		ok, err := fr.winCur.Next(&ev)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("cpu: replay core %d: packed tape short of event %d",
+				fr.index, fr.winBase+uint64(len(fr.win)))
+		}
+		fr.win = append(fr.win, ev)
+	}
+	return &fr.win[ordinal-fr.winBase], nil
+}
+
+// trimWin discards window slots every live lane has consumed. A lane's
+// position only moves forward, so the minimum over lanes is a safe
+// cut; stopped lanes never read again and are excluded.
+func (e *replayEngine) trimWin(fr *coreFront) {
+	min := uint64(math.MaxUint64)
+	for li := range e.lanes {
+		c := &e.lanes[li].cores[fr.index]
+		if c.stopped {
+			continue
+		}
+		if c.replayed < min {
+			min = c.replayed
+		}
+	}
+	if min == math.MaxUint64 {
+		min = fr.winBase + uint64(len(fr.win))
+	}
+	if min <= fr.winBase {
+		return
+	}
+	keep := min - fr.winBase
+	if keep >= uint64(len(fr.win)) {
+		fr.winBase += uint64(len(fr.win))
+		fr.win = fr.win[:0]
+		return
+	}
+	n := copy(fr.win, fr.win[keep:])
+	fr.win = fr.win[:n]
+	fr.winBase = min
+}
+
+// playItem executes lane core c's next item: either a due crossing
+// (advance latched dueCross) or the pending event (with any on-event
+// crossings attached to it).
+func (e *replayEngine) playItem(l *replayLane, c *laneCore) {
 	if c.dueCross {
 		c.dueCross = false
-		rs.applyCrossing(c, &c.view.cross[c.nextCross])
+		l.applyCrossing(c, &c.view.cross[c.nextCross])
 		c.nextCross++
-		return nil
+		return
 	}
-	rs.playEvent(c, &c.pend)
+	e.playEvent(l, c, &c.pend)
 	c.pendValid = false
 	c.replayed++
 	for c.nextCross < len(c.view.cross) {
@@ -300,70 +471,70 @@ func (rs *ReplaySystem) playItem(c *replayCore) error {
 		if cr.AfterEvents != c.replayed || !cr.OnEvent {
 			break
 		}
-		rs.applyCrossing(c, cr)
+		l.applyCrossing(c, cr)
 		c.nextCross++
 	}
-	return nil
 }
 
 // playEvent replays one LLC-bound event, mirroring the demand access,
 // DRAM traffic, prefetch fan-out and posted writeback of
 // (*System).accessLLC in that exact order.
-func (rs *ReplaySystem) playEvent(c *replayCore, ev *trace.FilteredEvent) {
+func (e *replayEngine) playEvent(l *replayLane, c *laneCore, ev *trace.FilteredEvent) {
 	addr := ev.Addr + uint64(c.index)<<coreAddrShift
 	pc := ev.PC | uint64(c.index)<<corePCShift
-	rs.req = cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: ev.Kind}
-	llcRes := rs.llc.Access(&rs.req)
+	l.req = cache.Request{Addr: addr, PC: pc, Core: c.index, Kind: ev.Kind}
+	llcRes := l.llc.Access(&l.req)
 	var svc uint64
 	if llcRes.Hit {
-		svc = rs.cfg.LLCLatency
-	} else if rs.dram != nil {
-		svc = rs.cfg.LLCLatency + rs.dram.Access(addr)
+		svc = e.cfg.LLCLatency
+	} else if l.dram != nil {
+		svc = e.cfg.LLCLatency + l.dram.Access(addr)
 	} else {
-		svc = rs.cfg.LLCLatency + rs.cfg.MemLatency
+		svc = e.cfg.LLCLatency + e.cfg.MemLatency
 	}
-	if llcRes.EvictedValid && llcRes.Evicted.Dirty && rs.dram != nil {
-		rs.dram.Touch(llcRes.Evicted.Tag << 6)
+	if llcRes.EvictedValid && llcRes.Evicted.Dirty && l.dram != nil {
+		l.dram.Touch(llcRes.Evicted.Tag << 6)
 	}
-	for d := 1; d <= rs.cfg.PrefetchDegree; d++ {
-		rs.PrefetchIssued++
-		rs.req = cache.Request{
-			Addr: addr + uint64(d)*uint64(rs.cfg.LLC.LineBytes),
+	for d := 1; d <= e.cfg.PrefetchDegree; d++ {
+		l.PrefetchIssued++
+		l.req = cache.Request{
+			Addr: addr + uint64(d)*uint64(e.cfg.LLC.LineBytes),
 			PC:   pc, Core: c.index, Kind: trace.Load,
 		}
-		rs.llc.Access(&rs.req)
+		l.llc.Access(&l.req)
 	}
 	if ev.HasWB {
-		rs.Writebacks++
-		rs.req = cache.Request{
+		l.Writebacks++
+		l.req = cache.Request{
 			Addr: ev.WBAddr + uint64(c.index)<<coreAddrShift,
 			PC:   ev.WBPC | uint64(c.index)<<corePCShift,
 			Core: c.index, Kind: trace.Store,
 		}
-		rs.llc.Access(&rs.req)
+		l.llc.Access(&l.req)
 	}
 	c.svc += svc
 }
 
-func (rs *ReplaySystem) applyCrossing(c *replayCore, cr *trace.Crossing) {
+func (l *replayLane) applyCrossing(c *laneCore, cr *trace.Crossing) {
 	switch cr.Kind {
 	case trace.CrossWarmup:
-		c.base = rs.snapshotAt(c, cr)
+		c.base = l.snapshotAt(c, cr)
 	case trace.CrossRecord:
-		rs.recordAt(c, cr)
+		l.recordAt(c, cr)
 	case trace.CrossExhaust:
 		if !c.recorded {
-			rs.recordAt(c, cr)
+			l.recordAt(c, cr)
 		}
 		c.stopped = true
 	}
 }
 
 // snapshotAt reconstructs the direct engine's cumulative snapshot at a
-// crossing: the tape supplies the policy-independent counters, the live
-// LLC the per-core shared-cache counters, and the cycle count is the
-// recorded policy-independent clock plus this core's replayed service.
-func (rs *ReplaySystem) snapshotAt(c *replayCore, cr *trace.Crossing) CoreResult {
+// crossing: the tape supplies the policy-independent counters, the
+// lane's LLC the per-core shared-cache counters, and the cycle count is
+// the recorded policy-independent clock plus this core's replayed
+// service.
+func (l *replayLane) snapshotAt(c *laneCore, cr *trace.Crossing) CoreResult {
 	return CoreResult{
 		Core:         c.index,
 		Instructions: cr.Instr,
@@ -371,18 +542,18 @@ func (rs *ReplaySystem) snapshotAt(c *replayCore, cr *trace.Crossing) CoreResult
 		MemAccesses:  cr.Mem,
 		L1Hits:       cr.L1Hits,
 		L1Misses:     cr.L1Misses,
-		LLCAccesses:  rs.llc.Stats.CoreAccesses[c.index],
-		LLCHits:      rs.llc.Stats.CoreHits[c.index],
-		LLCMisses:    rs.llc.Stats.CoreMisses[c.index],
+		LLCAccesses:  l.llc.Stats.CoreAccesses[c.index],
+		LLCHits:      l.llc.Stats.CoreHits[c.index],
+		LLCMisses:    l.llc.Stats.CoreMisses[c.index],
 	}
 }
 
-func (rs *ReplaySystem) recordAt(c *replayCore, cr *trace.Crossing) {
+func (l *replayLane) recordAt(c *laneCore, cr *trace.Crossing) {
 	if !c.recorded {
-		rs.recorded++
+		l.recorded++
 	}
 	c.recorded = true
-	r := rs.snapshotAt(c, cr)
+	r := l.snapshotAt(c, cr)
 	b := c.base // zero when no warm-up
 	c.result = CoreResult{
 		Core:         c.index,
@@ -395,4 +566,59 @@ func (rs *ReplaySystem) recordAt(c *replayCore, cr *trace.Crossing) {
 		LLCHits:      r.LLCHits - b.LLCHits,
 		LLCMisses:    r.LLCMisses - b.LLCMisses,
 	}
+}
+
+// ReplaySystem is the single-policy replay: one engine lane. See the
+// package comment above for the timing reconstruction it relies on.
+type ReplaySystem struct {
+	eng replayEngine
+
+	// Writebacks and PrefetchIssued mirror the lane's counters after Run
+	// (see replayLane for their semantics vs the direct engine).
+	Writebacks     uint64
+	PrefetchIssued uint64
+}
+
+// Machine is the read surface shared by System, ReplaySystem and the
+// lanes of a MultiReplaySystem — everything result collection needs
+// after a run.
+type Machine interface {
+	LLC() *cache.Cache
+	DRAM() *memory.DRAM
+	Prefetches() uint64
+}
+
+// NewReplaySystem builds a replay over one tape per core. Tapes must
+// have been recorded for a config with the same front end (FrontEndKey);
+// the LLC, memory model and prefetch degree may differ freely.
+func NewReplaySystem(cfg Config, llcPolicy cache.Policy, tapes []*Tape) *ReplaySystem {
+	return &ReplaySystem{eng: newReplayEngine(cfg, []cache.Policy{llcPolicy}, tapes)}
+}
+
+// DRAM exposes the memory model when enabled (nil otherwise).
+func (rs *ReplaySystem) DRAM() *memory.DRAM { return rs.eng.lanes[0].dram }
+
+// LLC exposes the shared cache (policy inspection, stats).
+func (rs *ReplaySystem) LLC() *cache.Cache { return rs.eng.lanes[0].llc }
+
+// Prefetches returns the next-line prefetch count (Machine interface).
+func (rs *ReplaySystem) Prefetches() uint64 { return rs.eng.lanes[0].PrefetchIssued }
+
+// Run replays the simulation and returns per-core results identical to
+// the equivalent direct System.Run. An error means the replay could not
+// complete (tape budget exhausted or untaggable stream); the results are
+// then always nil — never partially populated — the LLC state is
+// unusable, and the caller should fall back to direct simulation.
+func (rs *ReplaySystem) Run() ([]CoreResult, error) {
+	e := &rs.eng
+	l := &e.lanes[0]
+	err := e.start()
+	for err == nil && !l.done {
+		err = e.runLane(l, math.MaxInt)
+	}
+	rs.Writebacks, rs.PrefetchIssued = l.Writebacks, l.PrefetchIssued
+	if err != nil {
+		return nil, err
+	}
+	return l.results()
 }

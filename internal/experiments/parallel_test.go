@@ -3,6 +3,8 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"nucache/internal/sim"
 )
 
 // TestGridMatchesSequential is the parallelization contract: the
@@ -25,6 +27,45 @@ func TestGridMatchesSequential(t *testing.T) {
 					m.Name, s.Name, grid[i][j], want)
 			}
 		}
+	}
+}
+
+// TestMultiReplayEngagementAndEscapeHatch pins the one-pass grid wiring
+// at the experiments layer: a policy-grid run must actually take the
+// multi-replay path (the expvar counter moves), DisableMultiReplay must
+// keep it off, and both modes must reproduce the direct sequential
+// mixMetrics values — so the two grid modes are transitively
+// byte-identical. Distinct budgets keep the two grids out of each
+// other's cache entries.
+func TestMultiReplayEngagementAndEscapeHatch(t *testing.T) {
+	specs := StandardPolicies()
+	check := func(o Options) {
+		t.Helper()
+		mixes := o.mixes(2)
+		grid := o.mixMetricsGrid(mixes, specs)
+		for i, m := range mixes {
+			for j, s := range specs {
+				if want := o.mixMetrics(m, s); !reflect.DeepEqual(grid[i][j], want) {
+					t.Fatalf("%s under %s (nomulti=%v): grid %+v != sequential %+v",
+						m.Name, s.Name, o.DisableMultiReplay, grid[i][j], want)
+				}
+			}
+		}
+	}
+
+	on := Options{Budget: 155_000, Seed: 1, MixLimit: 2, Parallel: 2}.withDefaults()
+	before := sim.MultiReplayRuns.Value()
+	check(on)
+	if sim.MultiReplayRuns.Value() == before {
+		t.Fatal("policy grid did not engage the one-pass multi-replay path")
+	}
+
+	off := Options{Budget: 165_000, Seed: 1, MixLimit: 2, Parallel: 2,
+		DisableMultiReplay: true}.withDefaults()
+	before = sim.MultiReplayRuns.Value()
+	check(off)
+	if got := sim.MultiReplayRuns.Value(); got != before {
+		t.Fatalf("DisableMultiReplay grid still ran %d one-pass grids", got-before)
 	}
 }
 

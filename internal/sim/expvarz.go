@@ -58,6 +58,13 @@ var (
 	// simulation (tape budget exhausted or untaggable stream).
 	TracesReplayed = expvar.NewInt("nucache_traces_replayed")
 	TraceFallbacks = expvar.NewInt("nucache_trace_fallbacks")
+	// MultiReplayRuns counts one-pass policy-grid replays (one per
+	// (mix, machine shape) row served by RunMachineGrid's multi path);
+	// MultiReplayLanes totals the policy lanes those runs stepped — each
+	// lane is one simulation that would otherwise have been a separate
+	// single-policy replay. Lanes also count in TracesReplayed.
+	MultiReplayRuns  = expvar.NewInt("nucache_multireplay_runs")
+	MultiReplayLanes = expvar.NewInt("nucache_multireplay_lanes")
 	// MRCProfilesBuilt counts MRC profiling passes actually executed
 	// (cache hits excluded); MRCProfileCacheHits counts advisor/profile
 	// requests answered from an already-cached profile artifact.

@@ -31,6 +31,19 @@ func SetReplayDisabled(v bool) { replayOff.Store(v) }
 // ReplayDisabled reports the process-wide toggle.
 func ReplayDisabled() bool { return replayOff.Load() }
 
+// multiOff is the process-wide kill switch for the one-pass multi-policy
+// grid path only (-nomultireplay); single-policy replay stays on.
+var multiOff atomic.Bool
+
+// SetMultiReplayDisabled turns the one-pass policy-grid path
+// (RunMachineGrid's multi lane walk) off or back on process-wide.
+// Grids then run one single-policy replay per lane — bit-identical by
+// construction, so this is the A/B escape hatch for the multi engine.
+func SetMultiReplayDisabled(v bool) { multiOff.Store(v) }
+
+// MultiReplayDisabled reports the process-wide toggle.
+func MultiReplayDisabled() bool { return multiOff.Load() }
+
 // mixSeedStride matches workload.Mix.Streams: position i of a mix runs
 // its generator at seed + i*stride. Tapes are keyed by the derived seed,
 // so a benchmark running alone (position 0) shares its tape with every
@@ -76,22 +89,27 @@ func runMachine(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, se
 	return results, sys, pol
 }
 
-func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, cachedOnly bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy, bool) {
+// acquireMixTapes resolves (and unless cachedOnly, records on demand)
+// one tape per mix member. A false return means the caller should fall
+// back to direct simulation; acquisition failures count TraceFallbacks
+// (name misses and shape mismatches don't — the direct path reports
+// those errors).
+func acquireMixTapes(cfg cpu.Config, mix workload.Mix, seed uint64, cachedOnly bool) ([]*cpu.Tape, bool) {
 	if len(mix.Members) != cfg.Cores {
-		return nil, nil, nil, false // direct path panics with the real error
+		return nil, false // direct path panics with the real error
 	}
 	tapes := make([]*cpu.Tape, len(mix.Members))
 	for i, name := range mix.Members {
 		b, ok := workload.ByName(name)
 		if !ok {
-			return nil, nil, nil, false // direct path reports the error
+			return nil, false // direct path reports the error
 		}
 		s := seed + uint64(i)*mixSeedStride
 		id := fmt.Sprintf("%s@%d", name, s)
 		if cachedOnly {
 			t := cpu.LookupTape(id, cfg)
 			if t == nil {
-				return nil, nil, nil, false // one-shot: direct beats record+replay-once
+				return nil, false // one-shot: direct beats record+replay-once
 			}
 			tapes[i] = t
 			continue
@@ -100,9 +118,17 @@ func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, see
 			func() trace.Stream { return b.Stream(s) })
 		if err != nil {
 			TraceFallbacks.Add(1)
-			return nil, nil, nil, false
+			return nil, false
 		}
 		tapes[i] = t
+	}
+	return tapes, true
+}
+
+func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, seed uint64, cachedOnly bool) ([]cpu.CoreResult, cpu.Machine, cache.Policy, bool) {
+	tapes, ok := acquireMixTapes(cfg, mix, seed, cachedOnly)
+	if !ok {
+		return nil, nil, nil, false
 	}
 	// The cpu.replay.run failpoint fails (or kills) a simulation at the
 	// moment it commits to the replay path; an error here exercises the
@@ -120,6 +146,94 @@ func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, see
 	}
 	TracesReplayed.Add(1)
 	return results, rs, pol, true
+}
+
+// RunMachineGrid runs one simulation of mix on cfg per policy lane — a
+// whole policy-grid row in one call. Lane i uses a policy built by
+// newPols[i]; a nil builder skips that lane (its results/machine/policy
+// come back nil), which is how callers carve already-cached cells out
+// of a row. When replay is available it steps every live lane through a
+// single tape walk (cpu.MultiReplaySystem — each filtered event decoded
+// once for all policies); otherwise each live lane independently takes
+// the same replay-or-direct path RunMachine would. Either way every
+// lane's results are bit-identical to a standalone RunMachine call, and
+// retired-instruction accounting is per computed lane, exactly as if
+// the lanes had been separate RunMachine calls.
+//
+// The one-pass walk is skipped (per-lane fallback, still bit-identical)
+// when noMulti or SetMultiReplayDisabled, when replay as a whole is off,
+// when fewer than two lanes are live, or when tapes can't be acquired.
+func RunMachineGrid(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, noReplay, noMulti bool) ([][]cpu.CoreResult, []cpu.Machine, []cache.Policy) {
+	results := make([][]cpu.CoreResult, len(newPols))
+	machines := make([]cpu.Machine, len(newPols))
+	pols := make([]cache.Policy, len(newPols))
+	live := 0
+	for _, np := range newPols {
+		if np != nil {
+			live++
+		}
+	}
+	if live > 1 && !noReplay && !replayOff.Load() && !multiOff.Load() {
+		if tryMultiReplay(cfg, newPols, mix, seed, results, machines, pols) {
+			return results, machines, pols
+		}
+	}
+	for i, np := range newPols {
+		if np == nil {
+			continue
+		}
+		results[i], machines[i], pols[i] = runMachine(cfg, np, mix, seed, noReplay, false)
+	}
+	return results, machines, pols
+}
+
+// tryMultiReplay fills the grid outputs via one multi-policy tape walk.
+// A false return means nothing was filled and the caller should run
+// lanes individually.
+func tryMultiReplay(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, results [][]cpu.CoreResult, machines []cpu.Machine, pols []cache.Policy) bool {
+	tapes, ok := acquireMixTapes(cfg, mix, seed, false)
+	if !ok {
+		return false
+	}
+	// The cpu.multireplay.run failpoint fails (or kills) the grid at the
+	// moment it commits to the one-pass path, once per live lane so a
+	// kill lands mid-grid regardless of which lane ordinal is armed; an
+	// error degrades to per-lane replay, the same edge a dead tape would
+	// exercise.
+	for _, np := range newPols {
+		if np == nil {
+			continue
+		}
+		if err := failpoint.Inject("cpu.multireplay.run"); err != nil {
+			TraceFallbacks.Add(1)
+			return false
+		}
+	}
+	lanePols := make([]cache.Policy, 0, len(newPols))
+	laneIdx := make([]int, 0, len(newPols))
+	for i, np := range newPols {
+		if np == nil {
+			continue
+		}
+		lanePols = append(lanePols, np())
+		laneIdx = append(laneIdx, i)
+	}
+	ms := cpu.NewMultiReplaySystem(cfg, lanePols, tapes)
+	laneRes, err := ms.Run()
+	if err != nil {
+		TraceFallbacks.Add(1)
+		return false
+	}
+	MultiReplayRuns.Add(1)
+	MultiReplayLanes.Add(int64(len(lanePols)))
+	TracesReplayed.Add(int64(len(lanePols)))
+	for li, i := range laneIdx {
+		results[i] = laneRes[li]
+		machines[i] = ms.Lane(li)
+		pols[i] = lanePols[li]
+		countRetired(laneRes[li])
+	}
+	return true
 }
 
 func countRetired(results []cpu.CoreResult) {
