@@ -155,6 +155,10 @@ func TestSimEndpoint(t *testing.T) {
 		// single-policy /v1/sim leaves them at zero.
 		MultiRuns  *int64 `json:"nucache_multireplay_runs"`
 		MultiLanes *int64 `json:"nucache_multireplay_lanes"`
+		// Parallel lane stepping rides inside the multi path, so a
+		// single-policy /v1/sim leaves these at zero too.
+		ParallelRuns *int64 `json:"nucache_multireplay_parallel_runs"`
+		LaneWorkers  *int64 `json:"nucache_multireplay_lane_workers"`
 	}
 	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
 		t.Fatalf("expvars: %v", err)
@@ -170,6 +174,14 @@ func TestSimEndpoint(t *testing.T) {
 	if vars.MultiRuns == nil || vars.MultiLanes == nil {
 		t.Fatalf("multireplay expvars missing from /debug/vars: runs=%v lanes=%v",
 			vars.MultiRuns, vars.MultiLanes)
+	}
+	if vars.ParallelRuns == nil || vars.LaneWorkers == nil {
+		t.Fatalf("parallel-lane expvars missing from /debug/vars: runs=%v workers=%v",
+			vars.ParallelRuns, vars.LaneWorkers)
+	}
+	if *vars.ParallelRuns != 0 || *vars.LaneWorkers != 0 {
+		t.Fatalf("parallel-lane counters moved on single-policy sims: runs=%d workers=%d",
+			*vars.ParallelRuns, *vars.LaneWorkers)
 	}
 	if *vars.ChecksumFails != 0 || *vars.TapeChecksums != 0 || *vars.FailpointsFired != 0 {
 		t.Fatalf("integrity counters moved on a healthy server: cache=%d tape=%d failpoints=%d",

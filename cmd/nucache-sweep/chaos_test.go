@@ -75,31 +75,44 @@ func TestChaosKillAndResume(t *testing.T) {
 	}
 	golden := stripTimings(goldenOut)
 
-	// Each site names a failpoint on the sweep's write path, plus the
+	// Each entry names a failpoint on the sweep's write path, plus the
 	// flags the crash run needs for that site to be on the hot path: with
 	// one-pass grids on by default, per-cell replay commits only happen
 	// under -nomultireplay, and the multi-replay commit only without it.
 	// The resume run always uses the default flags — a journal written by
-	// either path must resume bit-identically under the other.
+	// either path must resume bit-identically under the other. env rides
+	// along on both the crash and the resume run: GOMAXPROCS=4 lets the
+	// lane-borrow path engage even on single-CPU hosts, so the
+	// cpu.multireplay.run kill lands with lane workers in flight and the
+	// resume replays the journal under parallel stepping too.
 	sites := []struct {
-		name  string
-		extra []string
+		name  string   // t.Run label and journal filename
+		site  string   // failpoint to arm
+		extra []string // crash-run flags putting the site on the hot path
+		env   []string // extra child env for the crash and resume runs
 	}{
-		{"sim.sched.job", nil},                         // grid cell dispatch
-		{"cpu.tape.extend", nil},                       // trace recording
-		{"cpu.replay.run", []string{"-nomultireplay"}}, // per-cell replay commit
-		{"cpu.multireplay.run", nil},                   // one-pass grid commit (armed once per live lane)
-		{"journal.append", nil},                        // checkpoint write
-		{"journal.append.torn", nil},                   // crash between a record's body and CRC
+		{"sim.sched.job", "sim.sched.job", nil, nil},                          // grid cell dispatch
+		{"cpu.tape.extend", "cpu.tape.extend", nil, nil},                      // trace recording
+		{"cpu.replay.run", "cpu.replay.run", []string{"-nomultireplay"}, nil}, // per-cell replay commit
+		// One-pass grid commit (armed once per live lane), lanes stepped on
+		// worker goroutines at both crash and resume time.
+		{"cpu.multireplay.run", "cpu.multireplay.run", nil, []string{"GOMAXPROCS=4"}},
+		// Same site with lane parallelism forced off at crash time; the
+		// resume (default flags, lane workers available) must still be
+		// byte-identical — the journal is stepping-mode-agnostic.
+		{"cpu.multireplay.run.serial-lanes", "cpu.multireplay.run",
+			[]string{"-laneparallel=false"}, []string{"GOMAXPROCS=4"}},
+		{"journal.append", "journal.append", nil, nil},           // checkpoint write
+		{"journal.append.torn", "journal.append.torn", nil, nil}, // crash between a record's body and CRC
 	}
 	for _, site := range sites {
 		site := site
 		t.Run(site.name, func(t *testing.T) {
 			jpath := filepath.Join(dir, strings.ReplaceAll(site.name, ".", "_")+".journal")
 			hit := 1 + rand.IntN(3)
-			spec := fmt.Sprintf("%s=exit@%d", site.name, hit)
+			spec := fmt.Sprintf("%s=exit@%d", site.site, hit)
 			t.Logf("arming %s", spec)
-			_, crashErr, err := runMainEnv(t, []string{failpoint.EnvVar + "=" + spec},
+			_, crashErr, err := runMainEnv(t, append([]string{failpoint.EnvVar + "=" + spec}, site.env...),
 				sweepArgs(jpath, false, site.extra...)...)
 			var exit *exec.ExitError
 			if err == nil {
@@ -109,7 +122,7 @@ func TestChaosKillAndResume(t *testing.T) {
 				t.Fatalf("crash exit = %v, want code %d\nstderr: %s", err, failpoint.ExitCode, crashErr)
 			}
 
-			out, errOut, err := runMain(t, sweepArgs(jpath, true)...)
+			out, errOut, err := runMainEnv(t, site.env, sweepArgs(jpath, true)...)
 			if err != nil {
 				t.Fatalf("resume after %s failed: %v\nstderr: %s", spec, err, errOut)
 			}

@@ -1,6 +1,7 @@
 package cache_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"nucache/internal/cache"
@@ -147,6 +148,137 @@ func TestCacheOccupancyBounded(t *testing.T) {
 	}
 	if got := c.Occupancy(); got != 8 {
 		t.Fatalf("occupancy = %d, want 8", got)
+	}
+}
+
+// TestOccupancyMatchesLineScan pins the popcount Occupancy against the
+// per-line scan it replaced, across a random mix of fills, evictions
+// and invalidations on several geometries (including ways that don't
+// fill whole filter words).
+func TestOccupancyMatchesLineScan(t *testing.T) {
+	lineScan := func(c *cache.Cache) int {
+		n := 0
+		for i := 0; i < c.NumSets(); i++ {
+			for _, l := range c.Set(i).Lines {
+				if l.Valid {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, ways := range []int{1, 2, 3, 8, 12, 16} {
+		c := cache.New(cache.Config{
+			Name: "occ", SizeBytes: 8 * ways * 64, Ways: ways, LineBytes: 64, Cores: 1,
+		}, policy.NewLRU())
+		for op := 0; op < 2000; op++ {
+			addr := uint64(rng.Intn(64*ways)) * 64
+			if rng.Intn(4) == 0 {
+				c.Invalidate(addr)
+			} else {
+				access(c, addr)
+			}
+			if op%97 == 0 {
+				if got, want := c.Occupancy(), lineScan(c); got != want {
+					t.Fatalf("ways=%d op=%d: Occupancy=%d, line scan=%d", ways, op, got, want)
+				}
+			}
+		}
+		if got, want := c.Occupancy(), lineScan(c); got != want {
+			t.Fatalf("ways=%d final: Occupancy=%d, line scan=%d", ways, got, want)
+		}
+	}
+}
+
+// TestAccessAgreesWithSetLookup pins the SWAR filtered lookup against
+// Set.Lookup (which scans Lines directly, bypassing both mirrors): for
+// every access the hit/miss outcome must match the ground truth,
+// across geometries with partial filter words and under invalidation.
+func TestAccessAgreesWithSetLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ways := range []int{1, 3, 7, 8, 9, 16, 64} {
+		var pol cache.Policy = policy.NewLRU() // supports up to 16 ways
+		if ways > 16 {
+			pol = policy.NewRandom(3)
+		}
+		c := cache.New(cache.Config{
+			Name: "swar", SizeBytes: 4 * ways * 64, Ways: ways, LineBytes: 64, Cores: 1,
+		}, pol)
+		for op := 0; op < 3000; op++ {
+			addr := uint64(rng.Intn(32*ways)) * 64
+			if rng.Intn(8) == 0 {
+				c.Invalidate(addr)
+				continue
+			}
+			want := c.Set(c.SetIndex(addr)).Lookup(c.Tag(addr)) >= 0
+			if got := access(c, addr).Hit; got != want {
+				t.Fatalf("ways=%d op=%d addr=%#x: Access hit=%v, Set.Lookup says %v",
+					ways, op, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestLookupPartialTagCollisions drives resident lines whose 8-bit
+// partial tags collide (tags differ only above the filtered byte), so
+// the SWAR prefilter alone cannot distinguish them: full-tag
+// confirmation must. The cache is 32-way (> swarMinWays) with every
+// probed set full, so the filter path — not the narrow-cache linear
+// scan — is the one under test; Random's victim choice prefers invalid
+// ways, making the fill deterministic. Partially filled and
+// invalidated sets take the linear fallback, which
+// TestAccessAgreesWithSetLookup covers at ways=64.
+func TestLookupPartialTagCollisions(t *testing.T) {
+	wide := func() *cache.Cache {
+		return cache.New(cache.Config{
+			Name:      "wide",
+			SizeBytes: 4 * 32 * 64, // 4 sets: pshift = 2, partial = uint8(tag >> 2)
+			Ways:      32,
+			LineBytes: 64,
+			Cores:     1,
+		}, policy.NewRandom(9))
+	}
+	// Strides of sets*256 lines keep set index AND partial byte equal
+	// while the full tags differ; +0x100 makes the shared partial byte
+	// nonzero (1) so a match can't be confused with cleared filter
+	// lanes.
+	const stride = uint64(4 * 256 * 64)
+
+	c := wide()
+	for i := uint64(0); i < 32; i++ {
+		if access(c, 0x100+i*stride).Hit {
+			t.Fatalf("cold access %d hit", i)
+		}
+	}
+	// Set 0 is now full of lines with identical partial tags: every
+	// probe flags all 32 filter bytes as candidates and only full-tag
+	// confirmation separates them.
+	for i := uint64(0); i < 32; i++ {
+		if !access(c, 0x100+i*stride).Hit {
+			t.Fatalf("colliding resident %d missed", i)
+		}
+	}
+	// A 33rd colliding line must still miss despite 32 partial matches.
+	if access(c, 0x100+32*stride).Hit {
+		t.Fatal("absent colliding line hit")
+	}
+
+	// Zero partial tags, including tag 0 itself: a full set whose
+	// filter words are all-zero yet whose lines are valid — probes for
+	// residents must confirm through, and an absent zero-partial probe
+	// must still miss.
+	c2 := wide()
+	for i := uint64(0); i < 32; i++ {
+		access(c2, i*stride) // tag i*1024 -> partial 0 for all i
+	}
+	for i := uint64(0); i < 32; i++ {
+		if !access(c2, i*stride).Hit {
+			t.Fatalf("zero-partial resident %d missed", i)
+		}
+	}
+	if access(c2, 32*stride).Hit {
+		t.Fatal("absent zero-partial line hit")
 	}
 }
 

@@ -1,6 +1,9 @@
 package cpu
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"nucache/internal/cache"
 )
 
@@ -87,6 +90,90 @@ func (ms *MultiReplaySystem) Run() ([][]CoreResult, error) {
 			break
 		}
 	}
+	return ms.collect()
+}
+
+// RunParallel is Run with lanes stepped on up to workers goroutines.
+// The package-comment guarantee — any interleaving of lane stepping is
+// byte-identical per lane — is what makes this legal; the only shared
+// mutable state is the streaming-decode window, which the engine locks
+// in parallel mode. Execution is round-based: each round, every live
+// lane advances exactly one multiReplayBatch (workers claim lanes from
+// a shared dispenser), then a barrier. That preserves the serial
+// round-robin's two properties: lanes drift at most one batch apart on
+// the tape (so a chunk pulled in by the leader is still cache-resident
+// for the trailers), and the streaming window holds a bounded span.
+//
+// workers is clamped to the lane count; with one worker (or one lane)
+// this is exactly Run. Errors behave as in Run: shared by construction,
+// so whichever lane hits one first aborts the grid with nil results.
+func (ms *MultiReplaySystem) RunParallel(workers int) ([][]CoreResult, error) {
+	e := &ms.eng
+	if workers > len(e.lanes) {
+		workers = len(e.lanes)
+	}
+	if workers <= 1 {
+		return ms.Run()
+	}
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	e.parallel = true
+	live := make([]*replayLane, 0, len(e.lanes))
+	for li := range e.lanes {
+		live = append(live, &e.lanes[li])
+	}
+	var (
+		errMu  sync.Mutex
+		runErr error
+	)
+	for len(live) > 0 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		n := workers
+		if n > len(live) {
+			n = len(live)
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(live) {
+						return
+					}
+					l := live[i]
+					err := e.runLane(l, multiReplayBatch)
+					l.publish()
+					if err != nil {
+						errMu.Lock()
+						if runErr == nil {
+							runErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if runErr != nil {
+			return nil, runErr
+		}
+		alive := live[:0]
+		for _, l := range live {
+			if !l.done {
+				alive = append(alive, l)
+			}
+		}
+		live = alive
+	}
+	return ms.collect()
+}
+
+func (ms *MultiReplaySystem) collect() ([][]CoreResult, error) {
+	e := &ms.eng
 	out := make([][]CoreResult, len(e.lanes))
 	for li := range e.lanes {
 		res, err := e.lanes[li].results()

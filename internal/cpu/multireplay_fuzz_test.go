@@ -132,3 +132,51 @@ func FuzzMultiReplayGrid(f *testing.F) {
 }
 
 func tape0(t *Tape) []*Tape { return []*Tape{t} }
+
+// FuzzMultiReplayGridParallel is FuzzMultiReplayGrid with lanes stepped
+// on worker goroutines: the error-never-panic and lane-isolation
+// contracts must survive arbitrary corruption with the streaming window
+// under concurrent access (decCount stays zero in these tapes, so every
+// event goes through the shared window — the contended path).
+func FuzzMultiReplayGridParallel(f *testing.F) {
+	f.Add(uint64(64), uint64(1), uint64(64), false, uint64(0), uint64(0))
+	f.Add(uint64(16), uint64(3), uint64(7), false, uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(4), uint64(0), true, uint64(0), uint64(0))
+	f.Add(uint64(32), uint64(5), uint64(40), false, uint64(0), uint64(0))
+	f.Add(uint64(64), uint64(6), uint64(64), false, uint64(10), uint64(128))
+	f.Add(uint64(64), uint64(7), uint64(64), false, uint64(900), uint64(0xff))
+
+	f.Fuzz(func(t *testing.T, nEvents, seed, crossAfter uint64, onEvent bool, mutPos, mutXor uint64) {
+		nEvents %= 2048
+		if crossAfter > nEvents+8 {
+			crossAfter %= nEvents + 8
+		}
+		cfg := fuzzGridConfig()
+		lanes := func() []cache.Policy {
+			return []cache.Policy{
+				policy.NewLRU(),
+				policy.NewDRRIP(uint64(cfg.Cores)),
+				policy.NewUCP(cfg.Cores, cfg.LLC.Ways),
+			}
+		}
+		tape := buildFuzzTape(cfg, nEvents, seed, crossAfter, onEvent, mutPos, mutXor)
+
+		ms := NewMultiReplaySystem(cfg, lanes(), tape0(tape))
+		mRes, mErr := ms.RunParallel(3)
+		if mErr != nil && mRes != nil {
+			t.Fatalf("failed parallel grid returned non-nil results: %+v", mRes)
+		}
+
+		for li, pol := range lanes() {
+			rs := NewReplaySystem(cfg, pol, tape0(tape))
+			sRes, sErr := rs.Run()
+			if (mErr == nil) != (sErr == nil) {
+				t.Fatalf("lane %d: parallel grid err %v, single err %v", li, mErr, sErr)
+			}
+			if mErr == nil && !reflect.DeepEqual(mRes[li], sRes) {
+				t.Fatalf("lane %d diverges from single replay\ngrid:   %+v\nsingle: %+v",
+					li, mRes[li], sRes)
+			}
+		}
+	})
+}

@@ -159,6 +159,108 @@ func TestMultiReplayLaneArrangementInvariance(t *testing.T) {
 	}
 }
 
+// runGridParallel is runGrid with lanes stepped on worker goroutines.
+func runGridParallel(t *testing.T, tc replayCase, names []string, tapes []*cpu.Tape, workers int) ([][]cpu.CoreResult, *cpu.MultiReplaySystem) {
+	t.Helper()
+	ms := cpu.NewMultiReplaySystem(tc.cfg, buildLanes(t, tc, names), tapes)
+	res, err := ms.RunParallel(workers)
+	if err != nil {
+		t.Fatalf("parallel multi replay: %v", err)
+	}
+	return res, ms
+}
+
+// TestMultiReplayParallelMatchesSerialAndSingle extends the tentpole
+// guarantee to parallel lane stepping: every policy lane of a grid run
+// on worker goroutines, on every machine shape, is byte-identical to
+// the serial grid, to a standalone single-policy replay, and to the
+// direct simulation. CI runs this by name under -race.
+func TestMultiReplayParallelMatchesSerialAndSingle(t *testing.T) {
+	for _, tc := range replayCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			names := sim.Policies()
+			tapes := makeTapes(tc)
+			serial, _ := runGrid(t, tc, names, tapes)
+			par, ms := runGridParallel(t, tc, names, tapes, 3)
+			for li, polName := range names {
+				t.Run(polName, func(t *testing.T) {
+					if !reflect.DeepEqual(serial[li], par[li]) {
+						t.Errorf("parallel lane diverges from serial grid\nserial: %+v\npar:    %+v",
+							serial[li], par[li])
+					}
+					sRes, s := runReplay(t, tc, polName, tapes)
+					compareLane(t, ms, li, par[li], sRes, s, s.Writebacks, s.PrefetchIssued, true)
+					dRes, d := runDirect(t, tc, polName)
+					compareLane(t, ms, li, par[li], dRes, d, d.Writebacks, d.PrefetchIssued,
+						tc.cfg.L2.SizeBytes == 0)
+				})
+			}
+		})
+	}
+}
+
+// TestMultiReplayParallelStreamingWindow forces the decode budget to
+// run out mid-tape (as in TestReplayDecodeBudgetStreaming), so parallel
+// lanes contend on the mutex-guarded shared streaming window and
+// trimWin must trim by published positions. Byte-identity against the
+// serial grid and a single-policy replay pins the locked path.
+func TestMultiReplayParallelStreamingWindow(t *testing.T) {
+	old := cpu.SetTapeBudget(cpu.TapeBytes()/2 + 600<<10)
+	defer cpu.SetTapeBudget(old)
+
+	tc := replayCase{
+		name:    "decode-budget",
+		cfg:     smallConfig(2),
+		streams: benchStreams("mcf-like", "milc-like"),
+	}
+	tc.cfg.InstrBudget = 120_000
+
+	names := sim.Policies()
+	tapes := makeTapes(tc)
+	serial, _ := runGrid(t, tc, names, tapes)
+	par, ms := runGridParallel(t, tc, names, tapes, len(names))
+	for li, polName := range names {
+		if !reflect.DeepEqual(serial[li], par[li]) {
+			t.Errorf("%s: parallel streaming lane diverges from serial grid", polName)
+		}
+	}
+	sRes, s := runReplay(t, tc, names[0], tapes)
+	compareLane(t, ms, 0, par[0], sRes, s, s.Writebacks, s.PrefetchIssued, true)
+}
+
+// TestMultiReplayParallelWorkerCounts pins the clamps: zero, one, the
+// lane count, and an oversubscribed worker count all produce identical
+// results (0 and 1 degrade to the serial path; extras are clamped).
+func TestMultiReplayParallelWorkerCounts(t *testing.T) {
+	tc := replayCases()[7] // L2+warmup+prefetch+dram: the richest shape
+	names := sim.Policies()
+	tapes := makeTapes(tc)
+	want, _ := runGrid(t, tc, names, tapes)
+	for _, workers := range []int{0, 1, 2, len(names), 4 * len(names)} {
+		got, _ := runGridParallel(t, tc, names, tapes, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("results diverge with %d workers", workers)
+		}
+	}
+}
+
+// TestMultiReplayParallelNilResultsOnError pins the parallel error
+// contract: a failed grid returns nil results, never partial ones.
+func TestMultiReplayParallelNilResultsOnError(t *testing.T) {
+	old := cpu.SetTapeBudget(0) // recording dies immediately
+	defer cpu.SetTapeBudget(old)
+	cfg := smallConfig(1)
+	pols := buildLanes(t, replayCase{cfg: cfg}, []string{"LRU", "NUcache", "UCP"})
+	ms := cpu.NewMultiReplaySystem(cfg, pols, []*cpu.Tape{cpu.NewTape(cfg, workload.MustByName("art-like").Stream(1))})
+	res, err := ms.RunParallel(3)
+	if err == nil {
+		t.Fatal("parallel grid over a budget-starved tape should fail")
+	}
+	if res != nil {
+		t.Fatalf("failed parallel grid returned non-nil results: %+v", res)
+	}
+}
+
 // TestReplayRunNilResultsOnError pins the error contract of both Run
 // paths: a failed replay returns nil results — never a partially
 // populated slice — so callers can trust `res != nil` as success.

@@ -3,6 +3,8 @@ package cpu
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"nucache/internal/cache"
 	"nucache/internal/memory"
@@ -42,6 +44,12 @@ type coreFront struct {
 	index int
 	tape  *Tape
 
+	// mu guards the streaming-window fields below when lanes run on
+	// worker goroutines (RunParallel). Serial replays never take it:
+	// the engine's parallel flag gates every acquisition, so the
+	// single-policy hot path stays lock-free.
+	mu sync.Mutex
+
 	// The shared streaming window: events at ordinals [winBase,
 	// winBase+len(win)) decoded from the packed buffer. winCur sits at
 	// ordinal winBase+len(win). Lanes at different positions read
@@ -79,14 +87,28 @@ type laneCore struct {
 	wbIdx     uint64              // writeback side records consumed (mirror mode)
 	pend      trace.FilteredEvent // the pending event (InstrGap not reconstructed; replay never reads it)
 	pendValid bool
-	dueCross  bool   // next item is view.cross[nextCross], not pend
+	dueCross  bool // next item is view.cross[nextCross], not pend
+	recorded  bool
+	stopped   bool
 	time      uint64 // schedule time of the next item (valid unless stopped)
 
-	recorded bool
-	stopped  bool
-	base     CoreResult
-	result   CoreResult
+	base   CoreResult
+	result CoreResult
+
+	// pub is the core's position as seen by other workers in parallel
+	// mode: replayed, with lanePubStopped folded in once the core
+	// stops. Written with atomic.StoreUint64 at batch boundaries (and
+	// on every streaming-window read, so trimWin trims by the true
+	// slowest lane even mid-batch); read with atomic.LoadUint64 by
+	// trimWin. A plain uint64 rather than atomic.Uint64 because
+	// laneCore values are copied at construction (copylocks).
+	pub uint64
 }
+
+// lanePubStopped marks a stopped core in laneCore.pub. Tape ordinals
+// are bounded far below 2^63 (the tape budget caps recordings), so the
+// top bit is free.
+const lanePubStopped = 1 << 63
 
 // replayLane is one policy's machine within an engine: its LLC and
 // DRAM instance, its per-core cursors (a contiguous sub-slice of the
@@ -141,6 +163,12 @@ type replayEngine struct {
 	cfg    Config
 	fronts []coreFront
 	lanes  []replayLane
+
+	// parallel is set (before any worker starts; the spawn establishes
+	// the happens-before) when lanes run on worker goroutines: the
+	// streaming window locks coreFront.mu and trimWin reads published
+	// positions instead of lane fields owned by other workers.
+	parallel bool
 }
 
 func newReplayEngine(cfg Config, pols []cache.Policy, tapes []*Tape) replayEngine {
@@ -246,6 +274,21 @@ func (e *replayEngine) runLane(l *replayLane, batch int) error {
 	return nil
 }
 
+// publish exposes every core's position (and stopped state) to other
+// workers via the atomic pub fields. Called by the worker that just ran
+// a batch of this lane, so the plain reads of replayed/stopped are of
+// its own writes.
+func (l *replayLane) publish() {
+	for ci := range l.cores {
+		c := &l.cores[ci]
+		v := c.replayed
+		if c.stopped {
+			v |= lanePubStopped
+		}
+		atomic.StoreUint64(&c.pub, v)
+	}
+}
+
 // results collects the lane's per-core results after it finished.
 func (l *replayLane) results() ([]CoreResult, error) {
 	out := make([]CoreResult, len(l.cores))
@@ -347,13 +390,11 @@ func (e *replayEngine) advance(c *laneCore) error {
 			continue
 		}
 		if c.replayed < c.view.events {
-			ev, err := e.winEvent(c, c.replayed)
-			if err != nil {
+			if err := e.winEvent(c, c.replayed, &c.pend); err != nil {
 				return err
 			}
-			c.pend = *ev
 			c.pendValid = true
-			c.pi += ev.CycleGap
+			c.pi += c.pend.CycleGap
 			continue
 		}
 		if c.view.complete {
@@ -378,20 +419,38 @@ func (e *replayEngine) refresh(c *laneCore) error {
 		return err
 	}
 	c.view = v
+	if e.parallel {
+		fr.mu.Lock()
+	}
 	if fr.winStreaming {
 		// A fresh snapshot is the longest yet (the tape only appends), so
 		// re-anchoring the shared cursor on it is safe for every lane.
 		fr.winCur.Rebase(v.buf, v.events)
 	}
+	if e.parallel {
+		fr.mu.Unlock()
+	}
 	return nil
 }
 
-// winEvent returns event `ordinal` from the shared streaming window of
-// c's core front, varint-decoding each overflow event exactly once no
-// matter how many lanes replay it. Only the leading lane appends;
-// trailing lanes hit already-decoded slots.
-func (e *replayEngine) winEvent(c *laneCore, ordinal uint64) (*trace.FilteredEvent, error) {
+// winEvent copies event `ordinal` from the shared streaming window of
+// c's core front into out, varint-decoding each overflow event exactly
+// once no matter how many lanes replay it. Only the leading lane
+// appends; trailing lanes hit already-decoded slots. The event is
+// copied out (not returned by pointer) because trimWin shifts and
+// append may reallocate the window — in parallel mode a concurrent
+// lane could do either the moment the lock drops.
+func (e *replayEngine) winEvent(c *laneCore, ordinal uint64, out *trace.FilteredEvent) error {
 	fr := c.fr
+	if e.parallel {
+		fr.mu.Lock()
+		defer fr.mu.Unlock()
+		// Publish this core's position eagerly: streaming lanes spend
+		// whole batches in here, and trimWin (under this same lock, from
+		// any worker) must see the true position, not the one from the
+		// last batch boundary, to keep the window bounded.
+		atomic.StoreUint64(&c.pub, c.replayed)
+	}
 	if !fr.winStreaming {
 		// The mirror stops permanently once the decode budget runs out, so
 		// decCount is fixed from here on — every lane's view agrees on it
@@ -401,7 +460,7 @@ func (e *replayEngine) winEvent(c *laneCore, ordinal uint64) (*trace.FilteredEve
 		fr.winCur = c.view.overflow
 	}
 	if ordinal < fr.winBase {
-		return nil, fmt.Errorf("cpu: replay core %d: event %d below streaming window base %d",
+		return fmt.Errorf("cpu: replay core %d: event %d below streaming window base %d",
 			fr.index, ordinal, fr.winBase)
 	}
 	for ordinal >= fr.winBase+uint64(len(fr.win)) {
@@ -411,29 +470,45 @@ func (e *replayEngine) winEvent(c *laneCore, ordinal uint64) (*trace.FilteredEve
 		var ev trace.FilteredEvent
 		ok, err := fr.winCur.Next(&ev)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return nil, fmt.Errorf("cpu: replay core %d: packed tape short of event %d",
+			return fmt.Errorf("cpu: replay core %d: packed tape short of event %d",
 				fr.index, fr.winBase+uint64(len(fr.win)))
 		}
 		fr.win = append(fr.win, ev)
 	}
-	return &fr.win[ordinal-fr.winBase], nil
+	*out = fr.win[ordinal-fr.winBase]
+	return nil
 }
 
 // trimWin discards window slots every live lane has consumed. A lane's
 // position only moves forward, so the minimum over lanes is a safe
-// cut; stopped lanes never read again and are excluded.
+// cut; stopped lanes never read again and are excluded. In parallel
+// mode other workers own their lanes' fields, so the minimum is taken
+// over the published positions instead — published values only lag the
+// truth, which makes the cut conservative, and a lagging position is
+// at most one batch old (winEvent republishes on every streaming
+// read), so the window stays bounded.
 func (e *replayEngine) trimWin(fr *coreFront) {
 	min := uint64(math.MaxUint64)
 	for li := range e.lanes {
 		c := &e.lanes[li].cores[fr.index]
-		if c.stopped {
+		var replayed uint64
+		var stopped bool
+		if e.parallel {
+			// Plain fields are owned by whichever worker holds the lane;
+			// only the published position may be read here.
+			v := atomic.LoadUint64(&c.pub)
+			replayed, stopped = v&^uint64(lanePubStopped), v&lanePubStopped != 0
+		} else {
+			replayed, stopped = c.replayed, c.stopped
+		}
+		if stopped {
 			continue
 		}
-		if c.replayed < min {
-			min = c.replayed
+		if replayed < min {
+			min = replayed
 		}
 	}
 	if min == math.MaxUint64 {

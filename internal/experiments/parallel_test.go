@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"nucache/internal/sim"
@@ -66,6 +67,51 @@ func TestMultiReplayEngagementAndEscapeHatch(t *testing.T) {
 	check(off)
 	if got := sim.MultiReplayRuns.Value(); got != before {
 		t.Fatalf("DisableMultiReplay grid still ran %d one-pass grids", got-before)
+	}
+}
+
+// TestMultiReplayParallelLanesEngagementAndEscapeHatch pins the
+// parallel-lane wiring at the experiments layer: with spare scheduler
+// slots and GOMAXPROCS headroom a grid row must actually borrow lane
+// workers (the expvar counters move), DisableLaneParallel must keep
+// stepping serial, and both modes must reproduce the direct sequential
+// mixMetrics values. GOMAXPROCS is raised for the duration because the
+// borrow path intentionally degrades to serial on single-CPU boxes.
+func TestMultiReplayParallelLanesEngagementAndEscapeHatch(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	specs := StandardPolicies()
+	check := func(o Options) {
+		t.Helper()
+		mixes := o.mixes(2)
+		grid := o.mixMetricsGrid(mixes, specs)
+		for i, m := range mixes {
+			for j, s := range specs {
+				if want := o.mixMetrics(m, s); !reflect.DeepEqual(grid[i][j], want) {
+					t.Fatalf("%s under %s (nolanes=%v): grid %+v != sequential %+v",
+						m.Name, s.Name, o.DisableLaneParallel, grid[i][j], want)
+				}
+			}
+		}
+	}
+
+	// One mix: its row job is the only slot holder, so Parallel=8 leaves
+	// idle slots to borrow (blocked sibling cells hold at most 4 more).
+	on := Options{Budget: 157_000, Seed: 1, MixLimit: 1, Parallel: 8}.withDefaults()
+	runsBefore, workersBefore := sim.MultiReplayParallelRuns.Value(), sim.MultiReplayLaneWorkers.Value()
+	check(on)
+	if sim.MultiReplayParallelRuns.Value() == runsBefore {
+		t.Fatal("policy grid did not engage parallel lane stepping")
+	}
+	if sim.MultiReplayLaneWorkers.Value()-workersBefore < 2 {
+		t.Fatal("parallel grid row reported fewer than 2 lane workers")
+	}
+
+	off := Options{Budget: 167_000, Seed: 1, MixLimit: 1, Parallel: 8,
+		DisableLaneParallel: true}.withDefaults()
+	runsBefore = sim.MultiReplayParallelRuns.Value()
+	check(off)
+	if got := sim.MultiReplayParallelRuns.Value(); got != runsBefore {
+		t.Fatalf("DisableLaneParallel grid still ran %d parallel-lane grids", got-runsBefore)
 	}
 }
 

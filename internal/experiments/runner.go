@@ -62,6 +62,11 @@ type Options struct {
 	// policy row through one tape walk (sim.RunMachineGrid). Bit-identical
 	// either way; the escape hatch for A/B-ing the one-pass grid engine.
 	DisableMultiReplay bool
+	// DisableLaneParallel keeps the one-pass grid walk but steps its
+	// policy lanes serially instead of borrowing idle scheduler workers
+	// to run them on goroutines. Bit-identical either way; the escape
+	// hatch for A/B-ing the parallel lane executor.
+	DisableLaneParallel bool
 	// Ctx, when non-nil, cancels scheduler-backed grids early: queued
 	// cells return the context error, in-flight cells run to completion
 	// (and still checkpoint), and the grid reports nil instead of
@@ -298,8 +303,8 @@ type rowEntry struct {
 // the row pass skipped (cached when it ran, or lost a race with another
 // grid) fall back to a plain single-cell evaluation — bit-identical,
 // just without the sharing.
-func (o Options) rowMetrics(row *rowEntry, m workload.Mix, specs []PolicySpec, j int) MixMetrics {
-	row.once.Do(func() { o.computeRow(row, m, specs) })
+func (o Options) rowMetrics(row *rowEntry, m workload.Mix, specs []PolicySpec, j int, lanes sim.LaneBudget) MixMetrics {
+	row.once.Do(func() { o.computeRow(row, m, specs, lanes) })
 	if mm := row.mm[j]; mm != nil {
 		return *mm
 	}
@@ -311,7 +316,7 @@ func (o Options) rowMetrics(row *rowEntry, m workload.Mix, specs []PolicySpec, j
 // instead of len(specs) single-policy ones. Cells already in the grid
 // cache are carved out (the scheduler serves them without running their
 // jobs); a lane's scoring matches mixMetrics exactly.
-func (o Options) computeRow(row *rowEntry, m workload.Mix, specs []PolicySpec) {
+func (o Options) computeRow(row *rowEntry, m workload.Mix, specs []PolicySpec, lanes sim.LaneBudget) {
 	row.mm = make([]*MixMetrics, len(specs))
 	cfg := o.machine(m.Cores())
 	newPols := make([]func() cache.Policy, len(specs))
@@ -329,7 +334,7 @@ func (o Options) computeRow(row *rowEntry, m workload.Mix, specs []PolicySpec) {
 		return
 	}
 	res, _, _ := sim.RunMachineGrid(cfg, newPols, m, o.Seed,
-		o.DisableReplay, o.DisableMultiReplay)
+		o.DisableReplay, o.DisableMultiReplay, lanes)
 	for j := range specs {
 		if res[j] == nil {
 			continue
@@ -446,6 +451,13 @@ func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]Mi
 	// journaling — each cell job still journals exactly its own cell —
 	// so resume and chaos behavior are unchanged.
 	rows := make([]rowEntry, len(mixes))
+	// The scheduler doubles as the lane budget: a row job holding one
+	// worker slot borrows idle slots to step its replay lanes in
+	// parallel, so lanes and cell jobs share the same Workers() bound.
+	var lanes sim.LaneBudget
+	if !o.DisableLaneParallel {
+		lanes = sched
+	}
 	jobs := make([]sim.Job, 0, len(mixes)*len(specs))
 	for i, m := range mixes {
 		for j, s := range specs {
@@ -460,7 +472,7 @@ func (o Options) mixMetricsGrid(mixes []workload.Mix, specs []PolicySpec) [][]Mi
 					if o.DisableMultiReplay {
 						mm = o.mixMetrics(m, s)
 					} else {
-						mm = o.rowMetrics(&rows[i], m, specs, j)
+						mm = o.rowMetrics(&rows[i], m, specs, j, lanes)
 					}
 					o.journalValue(key, &mm)
 					return &mm, nil

@@ -65,6 +65,13 @@ var (
 	// single-policy replay. Lanes also count in TracesReplayed.
 	MultiReplayRuns  = expvar.NewInt("nucache_multireplay_runs")
 	MultiReplayLanes = expvar.NewInt("nucache_multireplay_lanes")
+	// MultiReplayParallelRuns counts the subset of MultiReplayRuns that
+	// stepped lanes on two or more worker goroutines (scheduler tokens
+	// were available and GOMAXPROCS allowed it);
+	// MultiReplayLaneWorkers totals the workers those runs used — the
+	// row's own slot plus every borrowed token.
+	MultiReplayParallelRuns = expvar.NewInt("nucache_multireplay_parallel_runs")
+	MultiReplayLaneWorkers  = expvar.NewInt("nucache_multireplay_lane_workers")
 	// MRCProfilesBuilt counts MRC profiling passes actually executed
 	// (cache hits excluded); MRCProfileCacheHits counts advisor/profile
 	// requests answered from an already-cached profile artifact.

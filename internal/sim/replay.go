@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"nucache/internal/cache"
@@ -43,6 +44,31 @@ func SetMultiReplayDisabled(v bool) { multiOff.Store(v) }
 
 // MultiReplayDisabled reports the process-wide toggle.
 func MultiReplayDisabled() bool { return multiOff.Load() }
+
+// laneOff is the process-wide kill switch for parallel lane stepping
+// within the one-pass grid path (-laneparallel=false); the one-pass
+// walk itself stays on, stepping lanes serially.
+var laneOff atomic.Bool
+
+// SetLaneParallelDisabled turns parallel lane stepping off (or back
+// on) process-wide. Grids then step lanes serially round-robin —
+// byte-identical by construction, so this is the A/B escape hatch for
+// the parallel executor, mirroring -nomultireplay one level down.
+func SetLaneParallelDisabled(v bool) { laneOff.Store(v) }
+
+// LaneParallelDisabled reports the process-wide toggle.
+func LaneParallelDisabled() bool { return laneOff.Load() }
+
+// LaneBudget grants temporary extra parallelism to a one-pass grid
+// row: TryBorrow acquires up to max extra worker tokens without
+// blocking (returning how many it got, possibly zero) and Return gives
+// them back. *Scheduler implements it over its worker semaphore; a nil
+// budget means no extra workers are ever available and grids step
+// lanes serially.
+type LaneBudget interface {
+	TryBorrow(max int) int
+	Return(n int)
+}
 
 // mixSeedStride matches workload.Mix.Streams: position i of a mix runs
 // its generator at seed + i*stride. Tapes are keyed by the derived seed,
@@ -163,7 +189,15 @@ func tryReplay(cfg cpu.Config, newPol func() cache.Policy, mix workload.Mix, see
 // The one-pass walk is skipped (per-lane fallback, still bit-identical)
 // when noMulti or SetMultiReplayDisabled, when replay as a whole is off,
 // when fewer than two lanes are live, or when tapes can't be acquired.
-func RunMachineGrid(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, noReplay, noMulti bool) ([][]cpu.CoreResult, []cpu.Machine, []cache.Policy) {
+//
+// lanes is the optional worker budget for parallel lane stepping: when
+// non-nil (and SetLaneParallelDisabled is off), the multi walk borrows
+// idle scheduler tokens — capped at GOMAXPROCS-1 so a grid row never
+// oversubscribes the box — and steps lanes on that many extra worker
+// goroutines, returning the tokens when the row finishes. With a nil
+// budget, no free tokens, or a single spare CPU, it degrades to the
+// serial round-robin; results are byte-identical either way.
+func RunMachineGrid(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, noReplay, noMulti bool, lanes LaneBudget) ([][]cpu.CoreResult, []cpu.Machine, []cache.Policy) {
 	results := make([][]cpu.CoreResult, len(newPols))
 	machines := make([]cpu.Machine, len(newPols))
 	pols := make([]cache.Policy, len(newPols))
@@ -174,7 +208,7 @@ func RunMachineGrid(cfg cpu.Config, newPols []func() cache.Policy, mix workload.
 		}
 	}
 	if live > 1 && !noReplay && !replayOff.Load() && !multiOff.Load() {
-		if tryMultiReplay(cfg, newPols, mix, seed, results, machines, pols) {
+		if tryMultiReplay(cfg, newPols, mix, seed, results, machines, pols, lanes) {
 			return results, machines, pols
 		}
 	}
@@ -190,7 +224,7 @@ func RunMachineGrid(cfg cpu.Config, newPols []func() cache.Policy, mix workload.
 // tryMultiReplay fills the grid outputs via one multi-policy tape walk.
 // A false return means nothing was filled and the caller should run
 // lanes individually.
-func tryMultiReplay(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, results [][]cpu.CoreResult, machines []cpu.Machine, pols []cache.Policy) bool {
+func tryMultiReplay(cfg cpu.Config, newPols []func() cache.Policy, mix workload.Mix, seed uint64, results [][]cpu.CoreResult, machines []cpu.Machine, pols []cache.Policy, lanes LaneBudget) bool {
 	tapes, ok := acquireMixTapes(cfg, mix, seed, false)
 	if !ok {
 		return false
@@ -219,13 +253,33 @@ func tryMultiReplay(cfg cpu.Config, newPols []func() cache.Policy, mix workload.
 		laneIdx = append(laneIdx, i)
 	}
 	ms := cpu.NewMultiReplaySystem(cfg, lanePols, tapes)
-	laneRes, err := ms.Run()
+	// The row's own worker slot steps lanes; extra workers come from
+	// borrowed scheduler tokens, bounded by the spare CPUs (GOMAXPROCS-1:
+	// the row's slot is already using one) and by the lanes that could
+	// run concurrently. Tokens are held only for the duration of the walk.
+	workers := 1
+	if lanes != nil && !laneOff.Load() {
+		want := len(lanePols) - 1
+		if spare := runtime.GOMAXPROCS(0) - 1; want > spare {
+			want = spare
+		}
+		if want > 0 {
+			borrowed := lanes.TryBorrow(want)
+			workers += borrowed
+			defer lanes.Return(borrowed)
+		}
+	}
+	laneRes, err := ms.RunParallel(workers)
 	if err != nil {
 		TraceFallbacks.Add(1)
 		return false
 	}
 	MultiReplayRuns.Add(1)
 	MultiReplayLanes.Add(int64(len(lanePols)))
+	if workers > 1 {
+		MultiReplayParallelRuns.Add(1)
+		MultiReplayLaneWorkers.Add(int64(workers))
+	}
 	TracesReplayed.Add(int64(len(lanePols)))
 	for li, i := range laneIdx {
 		results[i] = laneRes[li]
