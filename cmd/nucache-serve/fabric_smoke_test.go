@@ -1,0 +1,194 @@
+package main
+
+// Smoke tests for the distribution surface of nucache-serve: the
+// /readyz readiness probe, the fabric expvars, and a real
+// coordinator+worker pair of server processes completing a sweep.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readyz is the /readyz envelope slice these tests watch.
+type readyz struct {
+	Status    string `json:"status"`
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queue_cap"`
+	Role      string `json:"role"`
+	Joined    string `json:"joined"`
+	CacheDisk string `json:"cache_disk"`
+	Fabric    *struct {
+		Cells       int `json:"cells"`
+		RemoteDone  int `json:"remote_done"`
+		Workers     int `json:"workers"`
+		LiveWorkers int `json:"live_workers"`
+		Quarantined int `json:"quarantined"`
+	} `json:"fabric"`
+}
+
+func getReadyz(t *testing.T, base string) readyz {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status = %d, want 200", resp.StatusCode)
+	}
+	var r readyz
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	return r
+}
+
+// TestReadyzStandalone: a plain server is ready, reports its role, and
+// carries no fabric section.
+func TestReadyzStandalone(t *testing.T) {
+	_, base := startServer(t)
+	r := getReadyz(t, base)
+	if r.Status != "ok" || r.Workers <= 0 || r.QueueCap <= 0 {
+		t.Fatalf("readyz = %+v, want ok with workers and a bounded queue", r)
+	}
+	if r.Role != "standalone" {
+		t.Fatalf("role = %q, want standalone", r.Role)
+	}
+	if r.Fabric != nil {
+		t.Fatalf("standalone readyz carries a fabric section: %+v", r.Fabric)
+	}
+}
+
+// TestCoordinatorWorkerSweep wires two real server processes into a
+// fabric — one -distribute coordinator, one -worker joined to it — and
+// drives a sweep through the coordinator. The pool must show the
+// worker as live, the sweep must complete, and the fabric expvars must
+// be published on /debug/vars.
+func TestCoordinatorWorkerSweep(t *testing.T) {
+	_, coordBase := startServer(t, "-distribute", "-heartbeat", "100ms")
+
+	r := getReadyz(t, coordBase)
+	if r.Role != "coordinator" || r.Fabric == nil {
+		t.Fatalf("coordinator readyz = %+v, want role coordinator with a fabric section", r)
+	}
+
+	_, workerBase := startServer(t, "-worker", "-join", coordBase)
+	wr := getReadyz(t, workerBase)
+	if wr.Role != "worker" || wr.Joined != coordBase {
+		t.Fatalf("worker readyz = %+v, want role worker joined to %s", wr, coordBase)
+	}
+
+	// The worker registers on startup; wait for the pool to see it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if r = getReadyz(t, coordBase); r.Fabric.LiveWorkers >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never joined the pool: readyz = %+v", r)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A sweep through the coordinator offers its cells to the pool and
+	// must stream every row regardless of who computes them.
+	resp, err := http.Post(coordBase+"/v1/sweep", "application/json",
+		strings.NewReader(`{"cores":2,"policies":["LRU","NUcache"],"budget":60000}`))
+	if err != nil {
+		t.Fatalf("POST /v1/sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d, body %s", resp.StatusCode, raw)
+	}
+	rows := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		rows++
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("sweep stream line is not JSON: %s", line)
+		}
+	}
+	if rows == 0 {
+		t.Fatalf("sweep streamed no rows:\n%s", raw)
+	}
+
+	if r = getReadyz(t, coordBase); r.Fabric.Cells == 0 {
+		t.Fatalf("sweep offered no cells to the fabric: readyz = %+v", r)
+	}
+
+	// The fabric counters ride on /debug/vars like every other
+	// subsystem: published from process start (pointers non-nil), and
+	// the join counter has moved.
+	dv, err := http.Get(coordBase + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer dv.Body.Close()
+	var vars struct {
+		Joined      *int64 `json:"nucache_fabric_workers_joined"`
+		Granted     *int64 `json:"nucache_fabric_leases_granted"`
+		Expired     *int64 `json:"nucache_fabric_leases_expired"`
+		Reassigned  *int64 `json:"nucache_fabric_cells_reassigned"`
+		Quarantined *int64 `json:"nucache_fabric_workers_quarantined"`
+		Rejected    *int64 `json:"nucache_fabric_results_rejected"`
+		Accepted    *int64 `json:"nucache_fabric_results_accepted"`
+	}
+	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvars: %v", err)
+	}
+	for name, p := range map[string]*int64{
+		"workers_joined":      vars.Joined,
+		"leases_granted":      vars.Granted,
+		"leases_expired":      vars.Expired,
+		"cells_reassigned":    vars.Reassigned,
+		"workers_quarantined": vars.Quarantined,
+		"results_rejected":    vars.Rejected,
+		"results_accepted":    vars.Accepted,
+	} {
+		if p == nil {
+			t.Errorf("nucache_fabric_%s missing from /debug/vars", name)
+		}
+	}
+	if vars.Joined != nil && *vars.Joined < 1 {
+		t.Errorf("fabric_workers_joined = %d after a worker joined", *vars.Joined)
+	}
+	if vars.Quarantined != nil && *vars.Quarantined != 0 {
+		t.Errorf("healthy pool shows quarantined workers: %d", *vars.Quarantined)
+	}
+}
+
+// TestWorkerRequiresJoin: -worker without -join is a usage error.
+func TestWorkerRequiresJoin(t *testing.T) {
+	cmd, stderr := runServeRaw(t, "-worker")
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("-worker without -join was accepted")
+	}
+	if !strings.Contains(stderr(), "-worker requires -join") {
+		t.Errorf("stderr does not explain the usage error: %q", stderr())
+	}
+}
+
+// runServeRaw starts the binary without waiting for a listen line, for
+// flag-validation tests that expect an immediate exit.
+func runServeRaw(t *testing.T, args ...string) (cmd *exec.Cmd, stderr func() string) {
+	t.Helper()
+	c := exec.Command(os.Args[0], args...)
+	c.Env = append(os.Environ(), beBinary+"=1")
+	var errb strings.Builder
+	c.Stderr = &errb
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Process.Kill(); c.Wait() })
+	return c, func() string { return errb.String() }
+}

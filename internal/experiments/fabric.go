@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"nucache/internal/cache"
+	"nucache/internal/core"
+	"nucache/internal/fabric"
+	"nucache/internal/policy"
+	"nucache/internal/workload"
+)
+
+// CellKindGrid is the fabric cell kind for policy-grid cells: the spec
+// is a gridCellSpec, the payload a MixMetrics. The version tag matches
+// the mixKey prefix — both change together or not at all.
+const CellKindGrid = "mixmetrics/v1"
+
+// PolicyWire is the serializable form of a PolicySpec: a policy kind
+// plus, for NUcache variants, the fully resolved configuration. It is
+// what lets a sweep built from closures (NUcacheWith and friends) ship
+// its cells to a remote worker that has never seen those closures.
+type PolicyWire struct {
+	// Kind is "lru", "nucache", "ucp", "pipp" or "tadip".
+	Kind string `json:"kind"`
+	// NU carries the resolved core.Config for Kind "nucache".
+	NU *core.Config `json:"nu,omitempty"`
+}
+
+// Build constructs the policy the wire form describes. The competitor
+// constants (PIPP/TADIP seeds) are the same literals the local
+// PolicySpecs use, so a remote build is the same machine.
+func (pw *PolicyWire) Build(cores, ways int) (cache.Policy, error) {
+	switch pw.Kind {
+	case "lru":
+		return policy.NewLRU(), nil
+	case "nucache":
+		if pw.NU == nil {
+			return nil, fmt.Errorf("experiments: nucache wire spec without config")
+		}
+		return core.MustNew(*pw.NU), nil
+	case "ucp":
+		return policy.NewUCP(cores, ways), nil
+	case "pipp":
+		return policy.NewPIPP(cores, ways, 12345), nil
+	case "tadip":
+		return policy.NewTADIP(cores, 12345), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy kind %q", pw.Kind)
+	}
+}
+
+// gridCellSpec is the wire form of one (mix, policy) grid cell: every
+// Options field that is part of the cell's content address, plus the
+// mix and the serialized policy. Scheduling knobs (Parallel,
+// JobTimeout, replay A/B switches) are deliberately absent — they don't
+// change results.
+type gridCellSpec struct {
+	Mix      string      `json:"mix"`
+	Members  []string    `json:"members"`
+	Policy   string      `json:"policy"`
+	Wire     *PolicyWire `json:"wire"`
+	Budget   uint64      `json:"budget"`
+	Seed     uint64      `json:"seed"`
+	Prefetch int         `json:"prefetch,omitempty"`
+	DRAM     bool        `json:"dram,omitempty"`
+}
+
+// cellFor serializes one grid cell for the fabric, or reports false for
+// specs with no wire form (ad-hoc PolicySpec literals stay local).
+func (o Options) cellFor(m workload.Mix, spec PolicySpec) (fabric.Cell, bool) {
+	if spec.Wire == nil {
+		return fabric.Cell{}, false
+	}
+	cfg := o.machine(m.Cores())
+	cs := gridCellSpec{
+		Mix: m.Name, Members: m.Members,
+		Policy: spec.Name, Wire: spec.Wire(cfg.Cores, cfg.LLC.Ways),
+		Budget: o.Budget, Seed: o.Seed,
+		Prefetch: o.PrefetchDegree, DRAM: o.UseDRAM,
+	}
+	data, err := json.Marshal(cs)
+	if err != nil {
+		return fabric.Cell{}, false
+	}
+	return fabric.Cell{Key: o.mixKey(m, spec), Kind: CellKindGrid, Spec: data}, true
+}
+
+// GridExecutor returns the fabric executor for CellKindGrid cells: it
+// rebuilds the mix and policy from the wire spec and evaluates the cell
+// exactly as the local path would — same simulation, same scoring, same
+// encoder — so the payload is byte-identical to a local computation.
+func GridExecutor() fabric.Executor {
+	return func(ctx context.Context, spec json.RawMessage) (payload json.RawMessage, err error) {
+		// A malformed spec (version skew, hostile coordinator) must fail
+		// the cell, not kill the worker: simulation panics become errors
+		// and the lease simply expires back to the coordinator.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: grid cell panicked: %v", r)
+			}
+		}()
+		var cs gridCellSpec
+		if err := json.Unmarshal(spec, &cs); err != nil {
+			return nil, fmt.Errorf("experiments: grid cell spec: %w", err)
+		}
+		if cs.Wire == nil {
+			return nil, fmt.Errorf("experiments: grid cell without policy wire")
+		}
+		if len(cs.Members) == 0 {
+			return nil, fmt.Errorf("experiments: grid cell without mix members")
+		}
+		for _, name := range cs.Members {
+			if _, ok := workload.ByName(name); !ok {
+				return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		o := Options{
+			Budget: cs.Budget, Seed: cs.Seed,
+			PrefetchDegree: cs.Prefetch, UseDRAM: cs.DRAM,
+		}.withDefaults()
+		m := workload.Mix{Name: cs.Mix, Members: cs.Members}
+		ps := PolicySpec{Name: cs.Policy, New: func(cores, ways int) cache.Policy {
+			p, err := cs.Wire.Build(cores, ways)
+			if err != nil {
+				panic(err) // recovered above into the cell error
+			}
+			return p
+		}}
+		mm := o.mixMetrics(m, ps)
+		return json.Marshal(&mm)
+	}
+}
+
+// FabricConfig tunes the sweep-embedded coordinator.
+type FabricConfig struct {
+	// LeaseTTL and Heartbeat are the fabric.Config knobs (-lease,
+	// -heartbeat on the CLI); zero values take the fabric defaults.
+	LeaseTTL  time.Duration
+	Heartbeat time.Duration
+	// Logger receives fabric chatter (stderr in the CLI); nil discards.
+	Logger *log.Logger
+}
+
+// NewSweepCoordinator builds the coordinator a distributed sweep embeds:
+// verified remote results are folded into the in-process grid cache and
+// checkpointed to the journal exactly like local completions (one
+// cellRecord per cell, annotated with the worker), and fabric events
+// are journaled as skippable annotations so a resumed coordinator
+// replays only completions.
+func NewSweepCoordinator(o Options, fc FabricConfig) *fabric.Coordinator {
+	jnl := o.Journal
+	return fabric.NewCoordinator(fabric.Config{
+		LeaseTTL:  fc.LeaseTTL,
+		Heartbeat: fc.Heartbeat,
+		Logger:    fc.Logger,
+		OnResult: func(key string, payload []byte) {
+			gridCache.PutEncoded(key, payload)
+			journalRemoteCell(jnl, key, payload)
+		},
+		OnEvent: func(ev fabric.Event) {
+			journalFabricEvent(jnl, ev)
+		},
+	})
+}

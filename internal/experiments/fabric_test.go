@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"nucache/internal/core"
+	"nucache/internal/fabric"
+)
+
+// TestGridExecutorByteIdenticalToLocal is the fabric's core correctness
+// property at the cell level: the remote executor, fed a cell's wire
+// spec, must produce exactly the bytes the local path would cache and
+// journal for that cell — for every policy kind in the standard lineup
+// plus a closure-built sweep variant.
+func TestGridExecutorByteIdenticalToLocal(t *testing.T) {
+	o := Options{Budget: 50_000, Seed: 7}.withDefaults()
+	m := o.mixes(2)[0]
+	specs := append(StandardPolicies(), NUcacheWith("D=4", func(ways int) core.Config {
+		cfg := core.DefaultConfig(ways)
+		cfg.DeliWays = 4
+		return cfg
+	}))
+
+	exec := GridExecutor()
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			local := o.mixMetrics(m, spec)
+			want, err := json.Marshal(&local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell, ok := o.cellFor(m, spec)
+			if !ok {
+				t.Fatalf("policy %s has no wire form", spec.Name)
+			}
+			got, err := exec(context.Background(), cell.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("remote payload differs from local bytes:\nremote %s\nlocal  %s", got, want)
+			}
+		})
+	}
+}
+
+// TestGridExecutorRejectsBadSpecs: malformed cells error out instead of
+// panicking the worker.
+func TestGridExecutorRejectsBadSpecs(t *testing.T) {
+	exec := GridExecutor()
+	for name, spec := range map[string]string{
+		"not json":      `{{{`,
+		"no wire":       `{"mix":"mix2-01","members":["art-like","mcf-like"],"budget":50000,"seed":1}`,
+		"no members":    `{"mix":"x","wire":{"kind":"lru"},"budget":50000,"seed":1}`,
+		"unknown bench": `{"mix":"x","members":["no-such-bench"],"wire":{"kind":"lru"},"budget":50000,"seed":1}`,
+		"unknown kind":  `{"mix":"mix2-01","members":["art-like","mcf-like"],"wire":{"kind":"mystery"},"budget":50000,"seed":1}`,
+		"nucache no nu": `{"mix":"mix2-01","members":["art-like","mcf-like"],"wire":{"kind":"nucache"},"budget":50000,"seed":1}`,
+	} {
+		if _, err := exec(context.Background(), json.RawMessage(spec)); err == nil {
+			t.Errorf("%s: executor accepted a bad spec", name)
+		}
+	}
+}
+
+// TestDistributedGridMatchesDirect runs a policy grid with a live
+// coordinator + two in-process fabric workers and requires the grid to
+// equal a direct (fabric-free) evaluation of every cell. A distinct
+// seed keeps the process-global grid cache from short-circuiting the
+// distribution.
+func TestDistributedGridMatchesDirect(t *testing.T) {
+	o := Options{Budget: 50_000, Seed: 4242, MixLimit: 2, Parallel: 2}.withDefaults()
+	mixes := o.mixes(4)
+	specs := []PolicySpec{Baseline(), NUcacheSpec()}
+
+	co := NewSweepCoordinator(o, FabricConfig{
+		LeaseTTL:  10 * time.Second,
+		Heartbeat: 50 * time.Millisecond,
+	})
+	t.Cleanup(co.Close)
+	srv := httptest.NewServer(co.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < 2; i++ {
+		w := fabric.NewWorker(srv.URL, fabric.WorkerConfig{
+			Name:      fmt.Sprintf("exp-test-%d", i),
+			Executors: map[string]fabric.Executor{CellKindGrid: GridExecutor()},
+		})
+		go w.Run(ctx)
+	}
+
+	o.Fabric = co
+	grid := o.mixMetricsGrid(mixes, specs)
+	if grid == nil {
+		t.Fatal("distributed grid returned nil")
+	}
+
+	direct := o // same options, no fabric
+	direct.Fabric = nil
+	for i, m := range mixes {
+		for j, s := range specs {
+			want := direct.mixMetrics(m, s)
+			if !reflect.DeepEqual(grid[i][j], want) {
+				t.Errorf("%s under %s: distributed %+v != direct %+v", m.Name, s.Name, grid[i][j], want)
+			}
+		}
+	}
+}
+
+// TestPolicyWireRoundTrip: every standard spec's wire form rebuilds a
+// policy, and a closure-built sweep variant resolves its closure into a
+// concrete config on the wire.
+func TestPolicyWireRoundTrip(t *testing.T) {
+	for _, spec := range StandardPolicies() {
+		pw := spec.Wire(4, 16)
+		if pw == nil {
+			t.Fatalf("%s: nil wire", spec.Name)
+		}
+		if _, err := pw.Build(4, 16); err != nil {
+			t.Fatalf("%s: build: %v", spec.Name, err)
+		}
+	}
+	v := NUcacheWith("D=4", func(ways int) core.Config {
+		cfg := core.DefaultConfig(ways)
+		cfg.DeliWays = 4
+		return cfg
+	})
+	pw := v.Wire(4, 16)
+	if pw == nil || pw.Kind != "nucache" || pw.NU == nil || pw.NU.DeliWays != 4 {
+		t.Fatalf("sweep variant wire = %+v, want resolved nucache config with DeliWays 4", pw)
+	}
+	if _, err := pw.Build(4, 16); err != nil {
+		t.Fatal(err)
+	}
+}

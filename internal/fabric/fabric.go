@@ -1,0 +1,152 @@
+// Package fabric is the fault-tolerant work-distribution layer behind
+// distributed sweeps: a coordinator hands content-addressed grid cells
+// to a pool of remote workers under *leases*, and every failure mode a
+// distributed system offers — worker death mid-cell, a hung worker, a
+// worker returning garbage, a dead coordinator — degrades back to the
+// single-node behavior the rest of the repo already guarantees.
+//
+// The contract, layer by layer:
+//
+//   - A cell is only ever *offered* to the fabric; the local sweep
+//     remains the executor of last resort. Zero workers means every
+//     cell is claimed locally the moment its job runs — byte-identical
+//     to a sweep with no fabric at all.
+//   - A worker pulls a cell under a lease with a deadline. If the lease
+//     expires (worker died or hung) the cell is reassigned with
+//     jittered exponential backoff, a bounded number of times; past the
+//     bound it is pinned local-only and never leaves the box again.
+//   - A returned result is only accepted inside an integrity envelope:
+//     the payload's SHA-256 must match the envelope, the lease must
+//     still be the worker's, and the payload must parse. Anything else
+//     rejects the result and quarantines the worker.
+//   - The coordinator journals every assignment and completion through
+//     caller-supplied hooks, so a killed coordinator resumes from its
+//     journal exactly like a killed single-node sweep.
+//
+// The package is generic: cells carry an opaque kind + JSON spec, and
+// workers map kinds to Executor functions. internal/experiments and
+// internal/sim register the two concrete cell kinds (grid MixMetrics
+// cells and sim Requests).
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"math/rand/v2"
+	"time"
+)
+
+// ErrLost marks work lost to a dead, hung or quarantined remote worker.
+// It is always retryable — the cell is simply recomputed, remotely or
+// locally — and internal/sim maps it into its error taxonomy as
+// KindWorkerLost.
+var ErrLost = errors.New("fabric: worker lost")
+
+// Cell is one unit of distributable work: a content-addressed key, a
+// kind naming the executor that can run it, and an opaque JSON spec the
+// executor decodes. Executing the same cell twice anywhere must yield
+// byte-identical payloads (the repo's simulations are deterministic and
+// encoding/json is canonical for their results) — that is what makes
+// duplicated work merely wasteful, never wrong.
+type Cell struct {
+	Key  string          `json:"key"`
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// Event is one observable state transition, delivered to the
+// coordinator's OnEvent hook (the sweep journals assignments through
+// it). Type is one of "join", "lease", "expire", "reject",
+// "quarantine", "dead".
+type Event struct {
+	Type   string
+	Key    string // cell key ("" for worker-level events)
+	Worker string
+}
+
+// Fabric expvars, published under /debug/vars wherever a coordinator is
+// embedded (nucache-serve -distribute, and any process importing
+// internal/sim). They aggregate across every coordinator in the
+// process.
+var (
+	// LeasesGranted counts cells handed to workers.
+	LeasesGranted = expvar.NewInt("nucache_fabric_leases_granted")
+	// LeasesExpired counts leases that passed their deadline (worker
+	// death or hang) and were taken back.
+	LeasesExpired = expvar.NewInt("nucache_fabric_leases_expired")
+	// CellsReassigned counts cells returned to the pending queue after
+	// a lease failure (each is eligible for re-lease after a jittered
+	// backoff, up to the reassignment bound).
+	CellsReassigned = expvar.NewInt("nucache_fabric_cells_reassigned")
+	// WorkersQuarantined counts workers removed from the pool for
+	// returning corrupt results or repeatedly blowing leases.
+	WorkersQuarantined = expvar.NewInt("nucache_fabric_workers_quarantined")
+	// ResultsRejected counts returned results refused before
+	// acceptance: checksum mismatch, stale or foreign lease, or an
+	// unparseable payload.
+	ResultsRejected = expvar.NewInt("nucache_fabric_results_rejected")
+	// ResultsAccepted counts verified results folded into the sweep.
+	ResultsAccepted = expvar.NewInt("nucache_fabric_results_accepted")
+	// WorkersJoined counts workers that ever registered.
+	WorkersJoined = expvar.NewInt("nucache_fabric_workers_joined")
+)
+
+// Wire types of the coordinator HTTP protocol (all POST, JSON bodies).
+// Paths are rooted at /fabric/v1/ so a coordinator can share a mux with
+// the serving API.
+type joinRequest struct {
+	Name string `json:"name"`
+}
+
+type joinResponse struct {
+	WorkerID    string `json:"worker_id"`
+	LeaseMS     int64  `json:"lease_ms"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	// PollMS is how long an idle worker should wait before asking for
+	// work again (jittered client-side).
+	PollMS int64 `json:"poll_ms"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type leaseResponse struct {
+	Cell    Cell   `json:"cell"`
+	Seq     uint64 `json:"seq"`
+	LeaseMS int64  `json:"lease_ms"`
+}
+
+// resultRequest returns one executed cell. SHA256 is the hex SHA-256 of
+// Payload — the integrity envelope the coordinator verifies before the
+// result can touch the sweep.
+type resultRequest struct {
+	WorkerID string          `json:"worker_id"`
+	Key      string          `json:"key"`
+	Seq      uint64          `json:"seq"`
+	SHA256   string          `json:"sha256"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// jitteredBackoff grows base exponentially with attempt (1-based),
+// caps it at max, and jitters uniformly over [d/2, d) so a pool of
+// retrying workers — or a pool of shed clients — decorrelates instead
+// of retrying in lockstep.
+func jitteredBackoff(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * base
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
+}

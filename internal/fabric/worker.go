@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"nucache/internal/failpoint"
+)
+
+// Executor runs one cell kind: it decodes spec, computes, and returns
+// the canonical JSON payload. Payloads must be deterministic — the
+// coordinator compares them by content address.
+type Executor func(ctx context.Context, spec json.RawMessage) (json.RawMessage, error)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Name labels this worker in coordinator logs and journal events.
+	Name string
+	// Executors maps cell kinds to the code that runs them. A leased
+	// cell with no executor is dropped (its lease expires and the
+	// coordinator reassigns it — misconfiguration degrades to slowness,
+	// not wrong answers).
+	Executors map[string]Executor
+	// Heartbeat overrides the coordinator-advertised interval when > 0
+	// (tests use this to simulate a worker that stops beating).
+	Heartbeat time.Duration
+	// Logger receives operational chatter; nil discards it.
+	Logger *log.Logger
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with sane timeouts.
+	Client *http.Client
+}
+
+// Worker is one pull-based member of a coordinator's pool: it joins,
+// heartbeats, leases cells, executes them, and posts back sealed
+// results. All fabric failpoint sites live here, so arming
+// NUCACHE_FAILPOINTS in a worker process kills or wounds the *worker*
+// at that point in the protocol — the coordinator must survive it.
+type Worker struct {
+	cfg  WorkerConfig
+	base string // coordinator URL, e.g. http://127.0.0.1:8080
+	hc   *http.Client
+
+	id        string
+	leaseTTL  time.Duration
+	heartbeat time.Duration
+	poll      time.Duration
+}
+
+// NewWorker returns a worker that will pull from the coordinator at
+// base (scheme://host:port; the /fabric/v1 prefix is implied).
+func NewWorker(base string, cfg WorkerConfig) *Worker {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{cfg: cfg, base: base, hc: hc}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, fmt.Errorf("fabric: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Run joins the pool and pulls cells until ctx is canceled or the
+// coordinator rejects this worker's identity terminally (quarantine).
+// Transient errors — coordinator not up yet, network blips — retry with
+// jittered exponential backoff.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.join(ctx); err != nil {
+		return err
+	}
+	w.logf("fabric worker %s: joined %s (lease %v, heartbeat %v)", w.id, w.base, w.leaseTTL, w.heartbeat)
+
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	hbDead := make(chan struct{})
+	go w.heartbeatLoop(hbCtx, hbDead)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-hbDead:
+			// Heartbeat loop hit a terminal rejection: the coordinator
+			// has disowned this identity (dead or quarantined). Stop
+			// pulling — any result would be rejected as stale anyway.
+			return ErrLost
+		default:
+		}
+		var lease leaseResponse
+		status, err := w.post(ctx, "/fabric/v1/lease", leaseRequest{WorkerID: w.id}, &lease)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case status == http.StatusNotFound:
+			return ErrLost // disowned
+		case err != nil:
+			w.logf("fabric worker %s: lease: %v", w.id, err)
+			sleepCtx(ctx, jitteredBackoff(w.poll, w.leaseTTL, 1))
+			continue
+		case status == http.StatusNoContent:
+			// Nothing pending right now; poll again shortly.
+			sleepCtx(ctx, jitteredBackoff(w.poll, 4*w.poll, 1))
+			continue
+		}
+
+		// Site fabric.lease.grant: the worker dies *holding* a fresh
+		// lease — the pure lost-work case the reaper must recover.
+		if err := failpoint.Inject("fabric.lease.grant"); err != nil {
+			return err
+		}
+		w.runCell(ctx, lease)
+	}
+}
+
+func (w *Worker) runCell(ctx context.Context, lease leaseResponse) {
+	exec, ok := w.cfg.Executors[lease.Cell.Kind]
+	if !ok {
+		w.logf("fabric worker %s: no executor for kind %q; dropping lease on %s", w.id, lease.Cell.Kind, lease.Cell.Key)
+		return // lease expires, coordinator reassigns
+	}
+	// Bound execution by the lease: a result after the deadline would be
+	// rejected as stale, so don't burn the CPU past it.
+	cellCtx, cancel := context.WithTimeout(ctx, time.Duration(lease.LeaseMS)*time.Millisecond)
+	payload, err := exec(cellCtx, lease.Cell.Spec)
+	cancel()
+	if err != nil {
+		w.logf("fabric worker %s: cell %s failed: %v (dropping lease)", w.id, lease.Cell.Key, err)
+		return
+	}
+
+	// Site fabric.result.recv: the worker dies with the result computed
+	// but not delivered — the coordinator sees only a blown lease.
+	if err := failpoint.Inject("fabric.result.recv"); err != nil {
+		w.logf("fabric worker %s: result.recv failpoint: %v", w.id, err)
+		return
+	}
+
+	sum := sha256.Sum256(payload)
+	status, err := w.post(ctx, "/fabric/v1/result", resultRequest{
+		WorkerID: w.id,
+		Key:      lease.Cell.Key,
+		Seq:      lease.Seq,
+		SHA256:   hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	}, nil)
+	switch {
+	case err == nil:
+		w.logf("fabric worker %s: completed %s", w.id, lease.Cell.Key)
+	case status == http.StatusConflict:
+		// Stale lease: the reaper reassigned the cell under us. Normal
+		// under aggressive lease TTLs; the work is simply discarded.
+		w.logf("fabric worker %s: result for %s superseded", w.id, lease.Cell.Key)
+	default:
+		w.logf("fabric worker %s: result post for %s failed: %v", w.id, lease.Cell.Key, err)
+	}
+}
+
+func (w *Worker) join(ctx context.Context) error {
+	for attempt := 1; ; attempt++ {
+		var resp joinResponse
+		_, err := w.post(ctx, "/fabric/v1/join", joinRequest{Name: w.cfg.Name}, &resp)
+		if err == nil {
+			w.id = resp.WorkerID
+			w.leaseTTL = time.Duration(resp.LeaseMS) * time.Millisecond
+			w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			w.poll = time.Duration(resp.PollMS) * time.Millisecond
+			if w.cfg.Heartbeat > 0 {
+				w.heartbeat = w.cfg.Heartbeat
+			}
+			if w.poll <= 0 {
+				w.poll = w.heartbeat / 2
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= 8 {
+			return fmt.Errorf("fabric: join %s: %w", w.base, err)
+		}
+		sleepCtx(ctx, jitteredBackoff(100*time.Millisecond, 2*time.Second, attempt))
+	}
+}
+
+// heartbeatLoop beats until ctx cancels or the coordinator disowns this
+// worker (then hbDead closes and the pull loop exits). Site
+// fabric.heartbeat fires once per beat: an exit action kills the worker
+// between beats; an error action skips beats, simulating a hung worker
+// the coordinator must declare dead.
+func (w *Worker) heartbeatLoop(ctx context.Context, hbDead chan<- struct{}) {
+	t := time.NewTicker(w.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := failpoint.Inject("fabric.heartbeat"); err != nil {
+			continue // skipped beat: worker looks hung to the coordinator
+		}
+		status, err := w.post(ctx, "/fabric/v1/heartbeat", heartbeatRequest{WorkerID: w.id}, nil)
+		if status == http.StatusNotFound {
+			close(hbDead)
+			return
+		}
+		if err != nil && ctx.Err() == nil {
+			w.logf("fabric worker %s: heartbeat: %v", w.id, err)
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

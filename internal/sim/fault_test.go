@@ -460,21 +460,37 @@ func TestServingSurvivesUnwritableCacheDir(t *testing.T) {
 		}
 	}
 
-	// The degradation is visible on /healthz, not only in logs.
-	resp, err := http.Get(ts.URL + "/healthz")
+	// The degradation is visible on /readyz, not only in logs —
+	// /healthz is pure liveness and must keep saying ok.
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var health struct {
+	var ready struct {
 		Status    string `json:"status"`
 		CacheDisk string `json:"cache_disk"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		t.Fatal(err)
 	}
-	if health.Status != "ok" || health.CacheDisk != "degraded" {
-		t.Fatalf("healthz %+v, want status ok + cache_disk degraded", health)
+	if ready.Status != "degraded" || ready.CacheDisk != "degraded" {
+		t.Fatalf("readyz %+v, want status degraded + cache_disk degraded", ready)
+	}
+
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(live.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("healthz %+v: liveness must not degrade with the disk tier", health)
 	}
 }
 

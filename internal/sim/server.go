@@ -5,10 +5,12 @@ import (
 	"expvar"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
 
+	"nucache/internal/fabric"
 	"nucache/internal/workload"
 )
 
@@ -25,6 +27,8 @@ type Server struct {
 	sched      *Scheduler
 	log        *slog.Logger
 	retryAfter time.Duration
+	coord      *fabric.Coordinator
+	readyInfo  func(map[string]any)
 }
 
 // ServerOption customizes a Server.
@@ -36,10 +40,27 @@ func WithLogger(l *slog.Logger) ServerOption {
 	return func(sv *Server) { sv.log = l }
 }
 
-// WithRetryAfter sets the Retry-After hint returned with 429 responses
-// (default 1s, rounded up to whole seconds on the wire).
+// WithRetryAfter sets the base Retry-After hint returned with 429
+// responses (default 1s). The wire value is jittered uniformly over
+// [base, 2·base] in whole seconds so a shed worker pool spreads its
+// retries instead of stampeding back in lockstep.
 func WithRetryAfter(d time.Duration) ServerOption {
 	return func(sv *Server) { sv.retryAfter = d }
+}
+
+// WithCoordinator embeds a fabric coordinator: its HTTP protocol is
+// mounted under /fabric/v1/, sweep cells are offered to the worker pool
+// (zero workers ⇒ every cell is claimed back locally, identical to an
+// un-distributed server), and /readyz reports pool membership.
+func WithCoordinator(co *fabric.Coordinator) ServerOption {
+	return func(sv *Server) { sv.coord = co }
+}
+
+// WithReadyInfo lets the process hosting the server contribute fields
+// to /readyz (journal state, worker role) without the sim package
+// knowing about them.
+func WithReadyInfo(fn func(map[string]any)) ServerOption {
+	return func(sv *Server) { sv.readyInfo = fn }
 }
 
 // NewServer builds a server on top of a scheduler.
@@ -58,8 +79,12 @@ func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 //	POST /v1/profile  compute (or fetch) a mix's MRC profile artifact
 //	POST /v1/advise   answer an allocation what-if from the profile
 //	GET  /v1/catalog  benchmarks, standard mixes, policies, endpoints
-//	GET  /healthz     liveness + degradation state
+//	GET  /healthz     pure liveness (the process answers)
+//	GET  /readyz      readiness: queue, cache-disk, fabric pool, host extras
 //	GET  /debug/vars  expvar counters
+//
+// With a fabric coordinator attached (WithCoordinator), its protocol is
+// mounted under POST /fabric/v1/{join,heartbeat,lease,result}.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", sv.handleSim)
@@ -68,7 +93,11 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/advise", sv.handleAdvise)
 	mux.HandleFunc("GET /v1/catalog", sv.handleCatalog)
 	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	mux.HandleFunc("GET /readyz", sv.handleReady)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if sv.coord != nil {
+		mux.Handle("POST /fabric/v1/", sv.coord.Handler())
+	}
 	return mux
 }
 
@@ -153,10 +182,14 @@ func (sv *Server) jobError(w http.ResponseWriter, err error) {
 }
 
 func (sv *Server) setRetryAfter(w http.ResponseWriter) {
-	secs := int(sv.retryAfter.Round(time.Second) / time.Second)
-	if secs < 1 {
-		secs = 1
+	base := int(sv.retryAfter.Round(time.Second) / time.Second)
+	if base < 1 {
+		base = 1
 	}
+	// Uniform over [base, 2·base]: a pool of shed clients that all obey
+	// Retry-After verbatim re-arrives spread across a full base window
+	// instead of as one synchronized wave.
+	secs := base + rand.N(base+1)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
@@ -255,9 +288,17 @@ func (sv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// With a fabric pool attached, offer the sweep's uncached cells to
+	// remote workers and let each job consult the coordinator before
+	// computing locally. Without one (or with zero workers) the jobs
+	// behave exactly as before.
+	sv.offerSweep(reqs)
 	jobs := make([]Job, len(reqs))
 	for i, req := range reqs {
 		jobs[i] = JobFor(req)
+		if sv.coord != nil {
+			jobs[i] = fabricJob(sv.coord, jobs[i])
+		}
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -329,7 +370,7 @@ func (sv *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		Endpoints: []string{
 			"POST /v1/sim", "POST /v1/sweep", "POST /v1/profile",
 			"POST /v1/advise", "GET /v1/catalog", "GET /healthz",
-			"GET /debug/vars",
+			"GET /readyz", "GET /debug/vars",
 		},
 	}
 	for _, b := range workload.All() {
@@ -347,8 +388,24 @@ func (sv *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, cat)
 }
 
+// handleHealth is pure liveness: the process is up and can answer. All
+// degradation state — queue pressure, cache-disk health, fabric pool —
+// lives on /readyz, so orchestrators restarting on failed liveness
+// probes never kill a server that is merely degraded.
 func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	health := map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": sv.sched.Workers(),
+	})
+}
+
+// handleReady reports readiness: the queue, the cache disk tier, the
+// fabric pool when a coordinator is embedded, and whatever the host
+// process contributes (journal state, worker role). Status degrades to
+// "degraded" — still HTTP 200; the server serves from memory — only
+// when a configured capability has been lost.
+func (sv *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	ready := map[string]any{
 		"status":      "ok",
 		"workers":     sv.sched.Workers(),
 		"queue_depth": sv.sched.QueueLen(),
@@ -356,14 +413,21 @@ func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	if c := sv.sched.Cache(); c != nil && c.Persistent() {
 		if c.DiskHealthy() {
-			health["cache_disk"] = "ok"
+			ready["cache_disk"] = "ok"
 		} else {
 			// Still serving (memory-only); surfaced so operators see the
 			// degradation without grepping logs.
-			health["cache_disk"] = "degraded"
+			ready["cache_disk"] = "degraded"
+			ready["status"] = "degraded"
 		}
 	}
-	writeJSON(w, http.StatusOK, health)
+	if sv.coord != nil {
+		ready["fabric"] = sv.coord.Stats()
+	}
+	if sv.readyInfo != nil {
+		sv.readyInfo(ready)
+	}
+	writeJSON(w, http.StatusOK, ready)
 }
 
 // maxBodyBytes bounds request bodies; sweep specs are small.
